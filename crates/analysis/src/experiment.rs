@@ -1,0 +1,123 @@
+//! Seeded multi-trial experiment plumbing.
+//!
+//! Experiments run every configuration over several seeds and report
+//! aggregates; this module provides the tiny harness that makes that
+//! uniform across the E1–E11/A1 binaries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::Summary;
+
+/// A single measured trial.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trial {
+    /// The seed the trial ran with.
+    pub seed: u64,
+    /// Measured value (rounds, edges, whatever the experiment tracks).
+    pub value: f64,
+}
+
+/// Runs `trials` seeded trials of `f` and collects the measurements.
+///
+/// Seeds are `base_seed, base_seed+1, …` so experiments are reproducible
+/// and disjoint experiments can use disjoint seed ranges.
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_analysis::experiment::run_trials;
+/// let m = run_trials(100, 5, |seed| seed as f64);
+/// assert_eq!(m.len(), 5);
+/// assert_eq!(m[0].seed, 100);
+/// assert_eq!(m[4].value, 104.0);
+/// ```
+pub fn run_trials(base_seed: u64, trials: usize, mut f: impl FnMut(u64) -> f64) -> Vec<Trial> {
+    (0..trials as u64)
+        .map(|i| {
+            let seed = base_seed + i;
+            Trial {
+                seed,
+                value: f(seed),
+            }
+        })
+        .collect()
+}
+
+/// Summarizes trial values.
+///
+/// # Panics
+///
+/// Panics if `trials` is empty.
+pub fn summarize(trials: &[Trial]) -> Summary {
+    let values: Vec<f64> = trials.iter().map(|t| t.value).collect();
+    Summary::of(&values)
+}
+
+/// A labeled sweep point with its trial summary — one row of an experiment
+/// table.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter, rendered (e.g. `"n=1024"`).
+    pub label: String,
+    /// Summary over seeds.
+    pub summary: Summary,
+}
+
+/// Geometric sweep helper: `start, start·factor, …` up to `limit`
+/// (inclusive), rounded to integers and deduplicated.
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_analysis::experiment::geometric_sweep;
+/// assert_eq!(geometric_sweep(100, 2.0, 800), vec![100, 200, 400, 800]);
+/// ```
+pub fn geometric_sweep(start: usize, factor: f64, limit: usize) -> Vec<usize> {
+    assert!(factor > 1.0, "factor must exceed 1");
+    let mut out = Vec::new();
+    let mut x = start as f64;
+    while x.round() as usize <= limit {
+        let v = x.round() as usize;
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+        x *= factor;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_are_seed_sequenced() {
+        let t = run_trials(7, 3, |s| (s * 2) as f64);
+        assert_eq!(t.iter().map(|x| x.seed).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(t[2].value, 18.0);
+    }
+
+    #[test]
+    fn summarize_matches_stats() {
+        let t = run_trials(0, 4, |s| s as f64);
+        let s = summarize(&t);
+        assert_eq!(s.mean, 1.5);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn geometric_sweep_dedups() {
+        // factor small enough that rounding repeats values
+        let s = geometric_sweep(10, 1.05, 12);
+        assert_eq!(s.first(), Some(&10));
+        let mut d = s.clone();
+        d.dedup();
+        assert_eq!(s, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must exceed 1")]
+    fn bad_factor_panics() {
+        geometric_sweep(1, 1.0, 10);
+    }
+}

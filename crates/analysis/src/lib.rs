@@ -1,0 +1,19 @@
+//! Instrumentation, statistics, and experiment plumbing for the
+//! `clique-mis` reproduction.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of quantitative
+//! claims (round bounds, golden-round counts, shattering, sparsity of the
+//! sampled set). The experiment binaries in `cc-mis-bench` regenerate each
+//! claim as a table; this crate supplies what they share:
+//!
+//! * [`stats`] — summary statistics, quantiles, least-squares fits (for
+//!   checking growth *shapes* like `rounds ∝ log Δ` vs `∝ √(log Δ)`).
+//! * [`table`] — plain-text and CSV table rendering.
+//! * [`experiment`] — seeded multi-trial runners and sweep helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod stats;
+pub mod table;

@@ -1,0 +1,329 @@
+//! Summary statistics and least-squares fits.
+
+/// Summary of a sample: mean, standard deviation, min/max, and quartiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than 2 observations).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (interpolated).
+    pub median: f64,
+    /// 90th percentile (interpolated).
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cc_mis_analysis::stats::Summary;
+    /// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+    /// assert_eq!(s.mean, 2.5);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 4.0);
+    /// ```
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        assert!(values.iter().all(|v| !v.is_nan()), "sample contains NaN");
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: quantile_sorted(&sorted, 0.5),
+            p90: quantile_sorted(&sorted, 0.9),
+        }
+    }
+}
+
+/// Interpolated quantile of a **sorted** sample, `q ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Least-squares line fit `y ≈ slope · x + intercept`, with the coefficient
+/// of determination `r²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 = perfect fit; 0 when `y` is
+    /// constant and perfectly predicted by its mean).
+    pub r_squared: f64,
+}
+
+/// Fits a least-squares line through `(x, y)` pairs.
+///
+/// Used by the experiments to compare growth shapes: e.g. regressing
+/// measured rounds against `log Δ` and against `√(log Δ)` and comparing
+/// `r²` tells which scaling law explains the data better.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 points are given or all `x` are identical.
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_analysis::stats::fit_line;
+/// let fit = fit_line(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "x values are all identical");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot <= 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits an exponential-decay model `y ≈ a · exp(-λ x)` by regressing
+/// `ln y` on `x` (points with `y ≤ 0` are skipped). Returns `(a, λ, r²)`.
+///
+/// Used by experiment E3 to verify Theorem 2.1's exponential tail of
+/// survival probability.
+///
+/// # Panics
+///
+/// Panics if fewer than 2 usable points remain.
+pub fn fit_exponential_decay(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    let logged: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.1 > 0.0)
+        .map(|p| (p.0, p.1.ln()))
+        .collect();
+    let fit = fit_line(&logged);
+    (fit.intercept.exp(), -fit.slope, fit.r_squared)
+}
+
+/// The half-width of a 95% normal-approximation confidence interval for
+/// the mean of `values` (`1.96 · s/√k`; 0 for fewer than 2 observations).
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_analysis::stats::mean_ci95;
+/// let (mean, half) = mean_ci95(&[10.0, 12.0, 11.0, 9.0]);
+/// assert_eq!(mean, 10.5);
+/// assert!(half > 0.0 && half < 3.0);
+/// ```
+pub fn mean_ci95(values: &[f64]) -> (f64, f64) {
+    let s = Summary::of(values);
+    let half = if s.count > 1 {
+        1.96 * s.std_dev / (s.count as f64).sqrt()
+    } else {
+        0.0
+    };
+    (s.mean, half)
+}
+
+/// A fixed-width histogram over `[min, max)` with values outside clamped
+/// into the end bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    width: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[min, max)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `max <= min`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(max > min, "max must exceed min");
+        Histogram {
+            min,
+            width: (max - min) / bins as f64,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds an observation (clamped into the end bins).
+    pub fn add(&mut self, value: f64) {
+        let idx = ((value - self.min) / self.width).floor() as i64;
+        let idx = idx.clamp(0, self.counts.len() as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// The per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(lower_edge, count)` pairs for rendering.
+    pub fn bins(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.min + i as f64 * self.width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci95_shrinks_with_more_samples() {
+        let few = mean_ci95(&[1.0, 2.0, 3.0, 4.0]).1;
+        let many: Vec<f64> = (0..64).map(|i| 1.0 + (i % 4) as f64).collect();
+        let lots = mean_ci95(&many).1;
+        assert!(lots < few);
+        assert_eq!(mean_ci95(&[5.0]).1, 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.5, 1.5, 2.5, 9.9, -3.0, 42.0] {
+            h.add(v);
+        }
+        assert_eq!(h.total(), 6);
+        // 0.5 and 1.5 share bin 0 with the low-clamped -3; 9.9 shares the
+        // last bin with the high-clamped 42.
+        assert_eq!(h.counts(), &[3, 1, 0, 0, 2]);
+        let edges: Vec<f64> = h.bins().map(|(e, _)| e).collect();
+        assert_eq!(edges, vec![0.0, 2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.p90, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn summary_empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn fit_recovers_noiseless_line() {
+        let points: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 3.0 * i as f64 - 7.0)).collect();
+        let fit = fit_line(&points);
+        assert!((fit.slope - 3.0).abs() < 1e-9);
+        assert!((fit.intercept + 7.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn fit_constant_y_has_full_r2() {
+        let points = [(0.0, 2.0), (1.0, 2.0), (2.0, 2.0)];
+        let fit = fit_line(&points);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn exponential_decay_recovered() {
+        let points: Vec<(f64, f64)> = (0..30)
+            .map(|i| (i as f64, 5.0 * (-0.3 * i as f64).exp()))
+            .collect();
+        let (a, lambda, r2) = fit_exponential_decay(&points);
+        assert!((a - 5.0).abs() < 1e-6);
+        assert!((lambda - 0.3).abs() < 1e-9);
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn decay_fit_skips_zeros() {
+        let points = [(0.0, 4.0), (1.0, 2.0), (2.0, 0.0), (3.0, 0.5)];
+        let (_, lambda, _) = fit_exponential_decay(&points);
+        assert!(lambda > 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Plain-text and CSV table rendering for experiment output.
+//!
+//! Every experiment binary prints one or more [`Table`]s: a title, a header
+//! row, and data rows. The same table can be dumped as CSV for downstream
+//! plotting.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_analysis::table::Table;
+///
+/// let mut t = Table::new("demo", &["n", "rounds"]);
+/// t.row(&["100", "12"]);
+/// t.row(&["200", "14"]);
+/// let text = t.to_string();
+/// assert!(text.contains("demo"));
+/// assert!(text.contains("rounds"));
+/// assert_eq!(t.to_csv(), "n,rounds\n100,12\n200,14\n");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[impl AsRef<str>]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (header + rows, comma-separated). Cells
+    /// containing commas or quotes are quoted.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(
+            &self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{:>width$}", cell, width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.header))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimal places (the standard cell format of the
+/// experiment tables).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_title() {
+        let mut t = Table::new("T", &["a", "bbbb"]);
+        t.row(&["12345", "6"]);
+        let s = t.to_string();
+        assert!(s.starts_with("## T\n"));
+        // Column a is width 5, so header 'a' is right-aligned.
+        assert!(s.contains("    a  bbbb"));
+        assert!(s.contains("12345     6"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("T", &["x", "note"]);
+        t.row(&["1", "hello, world"]);
+        t.row(&["2", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"hello, world\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new("T", &["x"]);
+        assert!(t.is_empty());
+        t.row(&["1"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f2(1.005), "1.00"); // rounds-to-even on exact binary repr
+        assert_eq!(f3(2.0 / 3.0), "0.667");
+    }
+}

@@ -1,0 +1,61 @@
+//! Microbenchmarks of the Lenzen-routing scheduler.
+
+use cc_mis_graph::NodeId;
+use cc_mis_sim::clique::CliqueEngine;
+use cc_mis_sim::routing::{route, Packet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// The canonical Lenzen workload: every node sends ~n packets, spread.
+fn full_load(n: usize) -> Vec<Packet<u32>> {
+    let mut packets = Vec::with_capacity(n * (n - 1));
+    for s in 0..n as u32 {
+        for k in 1..n as u32 {
+            packets.push(Packet {
+                src: NodeId::new(s),
+                dst: NodeId::new((s + k) % n as u32),
+                bits: 32,
+                payload: k,
+            });
+        }
+    }
+    packets
+}
+
+/// Hotspot: one destination receives everything.
+fn hotspot_load(n: usize) -> Vec<Packet<u32>> {
+    let mut packets = Vec::new();
+    for s in 1..n as u32 {
+        for k in 0..(n as u32 / 2) {
+            packets.push(Packet {
+                src: NodeId::new(s),
+                dst: NodeId::new(0),
+                bits: 32,
+                payload: k,
+            });
+        }
+    }
+    packets
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lenzen_routing");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("full_load", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut e = CliqueEngine::strict(n, 64);
+                route(&mut e, full_load(n)).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hotspot", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut e = CliqueEngine::strict(n, 64);
+                route(&mut e, hotspot_load(n)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::a1_ablation`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::a1_ablation::run(quick);
+    cc_mis_bench::experiments::emit("a1_ablation", &tables);
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::e10_accounting`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::e10_accounting::run(quick);
+    cc_mis_bench::experiments::emit("e10_accounting", &tables);
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::e11_reductions`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::e11_reductions::run(quick);
+    cc_mis_bench::experiments::emit("e11_reductions", &tables);
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::e12_lca`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::e12_lca::run(quick);
+    cc_mis_bench::experiments::emit("e12_lca", &tables);
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::e1_headline`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::e1_headline::run(quick);
+    cc_mis_bench::experiments::emit("e1_headline", &tables);
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::e2_delta_scaling`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::e2_delta_scaling::run(quick);
+    cc_mis_bench::experiments::emit("e2_delta_scaling", &tables);
+}

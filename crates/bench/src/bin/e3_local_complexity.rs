@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::e3_local_complexity`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::e3_local_complexity::run(quick);
+    cc_mis_bench::experiments::emit("e3_local_complexity", &tables);
+}

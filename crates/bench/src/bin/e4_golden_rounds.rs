@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::e4_golden_rounds`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::e4_golden_rounds::run(quick);
+    cc_mis_bench::experiments::emit("e4_golden_rounds", &tables);
+}

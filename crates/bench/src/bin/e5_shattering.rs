@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::e5_shattering`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::e5_shattering::run(quick);
+    cc_mis_bench::experiments::emit("e5_shattering", &tables);
+}

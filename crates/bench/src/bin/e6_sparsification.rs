@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::e6_sparsification`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::e6_sparsification::run(quick);
+    cc_mis_bench::experiments::emit("e6_sparsification", &tables);
+}

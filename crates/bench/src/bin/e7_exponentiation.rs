@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::e7_exponentiation`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::e7_exponentiation::run(quick);
+    cc_mis_bench::experiments::emit("e7_exponentiation", &tables);
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::e8_lowdeg`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::e8_lowdeg::run(quick);
+    cc_mis_bench::experiments::emit("e8_lowdeg", &tables);
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `cc_mis_bench::experiments::e9_equivalence`.
+fn main() {
+    let quick = cc_mis_bench::quick_mode();
+    let tables = cc_mis_bench::experiments::e9_equivalence::run(quick);
+    cc_mis_bench::experiments::emit("e9_equivalence", &tables);
+}

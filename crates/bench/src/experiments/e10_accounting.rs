@@ -1,0 +1,95 @@
+//! **E10 — model-cost accounting.**
+//!
+//! Every algorithm runs on an engine that enforces its model's bandwidth
+//! (`B = O(log n)` per link per round) in strict mode — so the mere fact
+//! that these runs complete proves no message ever exceeded the budget.
+//! This experiment tabulates rounds, messages, total bits, and the
+//! violation counter (always 0 under strict engines) per algorithm on a
+//! common workload, plus the per-phase breakdown of the Theorem 1.1 run.
+
+use cc_mis_analysis::table::{f2, Table};
+use cc_mis_core::beeping_mis::{run_beeping_to_completion, BeepingParams};
+use cc_mis_core::clique_mis::{run_clique_mis, CliqueMisParams};
+use cc_mis_core::ghaffari16::{run_ghaffari16, Ghaffari16Params};
+use cc_mis_core::luby::{run_luby, LubyParams};
+use cc_mis_core::sparsified::{run_sparsified_with_cleanup, SparsifiedParams};
+use cc_mis_graph::checks;
+use cc_mis_sim::bits::standard_bandwidth;
+
+use crate::Family;
+
+/// Runs E10 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 128 } else { 512 };
+    let seed = 77;
+    let g = Family::GnpAvgDeg(16).build(n, 55);
+    let b = standard_bandwidth(n);
+
+    let mut t = Table::new(
+        format!("E10: cost accounting on G({n},16/n), B = {b} bits (single seed)"),
+        &["algorithm", "model", "rounds", "messages", "bits", "bits/round/node", "violations"],
+    );
+    let mut push = |name: &str, model: &str, ledger: &cc_mis_sim::RoundLedger| {
+        let bpn = ledger.bits as f64 / (ledger.rounds.max(1) as f64 * n as f64);
+        t.row(&[
+            name.to_string(),
+            model.to_string(),
+            ledger.rounds.to_string(),
+            ledger.messages.to_string(),
+            ledger.bits.to_string(),
+            f2(bpn),
+            ledger.violations.to_string(),
+        ]);
+    };
+
+    let out = run_luby(&g, &LubyParams::for_graph(&g), seed);
+    assert!(checks::is_maximal_independent_set(&g, &out.mis));
+    push("luby", "CONGEST", &out.ledger);
+
+    let out = run_ghaffari16(&g, &Ghaffari16Params::for_graph(&g), seed);
+    assert!(checks::is_maximal_independent_set(&g, &out.mis));
+    push("ghaffari16", "CONGEST", &out.ledger);
+
+    let out = run_beeping_to_completion(&g, &BeepingParams::for_graph(&g), seed);
+    assert!(checks::is_maximal_independent_set(&g, &out.mis));
+    push("beeping (§2.2)", "BEEPING", &out.ledger);
+
+    let out = run_sparsified_with_cleanup(&g, &SparsifiedParams::for_graph(&g), seed);
+    assert!(checks::is_maximal_independent_set(&g, &out.mis));
+    push("sparsified (§2.3)", "BEEPING+", &out.ledger);
+
+    let clique = run_clique_mis(&g, &CliqueMisParams::default(), seed);
+    assert!(checks::is_maximal_independent_set(&g, &clique.mis));
+    push("thm 1.1 (§2.4)", "CLIQUE", &clique.ledger);
+
+    // Per-phase breakdown of the clique run.
+    let mut t2 = Table::new(
+        "E10b: Theorem 1.1 per-phase breakdown",
+        &["phase", "iters", "alive", "super-heavy", "|S|", "max S-deg", "ball edges", "gather rounds", "phase rounds"],
+    );
+    for (i, ph) in clique.phases.iter().enumerate() {
+        t2.row(&[
+            i.to_string(),
+            ph.len.to_string(),
+            ph.alive_at_start.to_string(),
+            ph.super_heavy.to_string(),
+            ph.sampled.to_string(),
+            ph.max_s_degree.to_string(),
+            ph.max_ball_edges.to_string(),
+            ph.gather_rounds.to_string(),
+            ph.phase_rounds.to_string(),
+        ]);
+    }
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e10_smoke() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 5);
+        assert!(!tables[1].is_empty());
+    }
+}

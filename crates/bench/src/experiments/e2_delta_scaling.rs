@@ -1,0 +1,121 @@
+//! **E2 — round growth in `Δ` at fixed `n`.**
+//!
+//! Theorem 1.1's complexity is `O(log Δ · log log Δ / √(log n) + log log Δ)`
+//! versus `O(log Δ)` for `[13]` and `O(log n)` for Luby. At fixed `n`, Luby
+//! should be flat in `Δ`, while both `[13]` and the new algorithm's
+//! *iteration* count grow linearly in `log Δ` — the new algorithm divides
+//! its iterations into phases of length `P`, so its phase count grows with
+//! slope `1/P` relative to `[13]`'s. We regress each series against
+//! `log₂ Δ` and report the fitted slopes.
+
+use cc_mis_analysis::experiment::run_trials;
+use cc_mis_analysis::stats::fit_line;
+use cc_mis_analysis::table::{f2, Table};
+use cc_mis_core::clique_mis::{run_clique_mis, CliqueMisParams};
+use cc_mis_core::ghaffari16::{run_ghaffari16_clique, Ghaffari16Params};
+use cc_mis_core::luby::{run_luby, LubyParams};
+use cc_mis_graph::checks;
+
+use crate::{default_trials, Family};
+
+/// Runs E2 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 256 } else { 2048 };
+    let degrees: &[u32] = if quick { &[4, 16] } else { &[4, 8, 16, 32, 64, 128] };
+    let trials = if quick { 2 } else { default_trials() };
+
+    let mut table = Table::new(
+        format!("E2: rounds vs Δ at n = {n} (means over seeds)"),
+        &["avg deg", "Δ", "log2 Δ", "luby rounds", "g16 iters", "thm1.1 iters", "thm1.1 phases", "thm1.1 rounds"],
+    );
+
+    let mut luby_pts = Vec::new();
+    let mut g16_pts = Vec::new();
+    let mut thm_iter_pts = Vec::new();
+    let mut thm_phase_pts = Vec::new();
+
+    for &d in degrees {
+        let g = Family::GnpAvgDeg(d).build(n, 7);
+        let delta = g.max_degree();
+        let logd = (delta.max(2) as f64).log2();
+
+        let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+        let luby = mean(
+            run_trials(10, trials, |s| {
+                let out = run_luby(&g, &LubyParams::for_graph(&g), s);
+                assert!(checks::is_maximal_independent_set(&g, &out.mis));
+                out.ledger.rounds as f64
+            })
+            .iter()
+            .map(|t| t.value)
+            .collect(),
+        );
+        let g16 = mean(
+            run_trials(10, trials, |s| {
+                let out = run_ghaffari16_clique(&g, &Ghaffari16Params::for_graph(&g), s);
+                assert!(checks::is_maximal_independent_set(&g, &out.mis));
+                out.iterations as f64
+            })
+            .iter()
+            .map(|t| t.value)
+            .collect(),
+        );
+        let mut thm_iters = Vec::new();
+        let mut thm_phases = Vec::new();
+        let thm_rounds = mean(
+            run_trials(10, trials, |s| {
+                let out = run_clique_mis(&g, &CliqueMisParams::default(), s);
+                assert!(checks::is_maximal_independent_set(&g, &out.mis));
+                thm_iters.push(out.iterations as f64);
+                thm_phases.push(out.phases.len() as f64);
+                out.rounds as f64
+            })
+            .iter()
+            .map(|t| t.value)
+            .collect(),
+        );
+        let thm_i = mean(thm_iters);
+        let thm_p = mean(thm_phases);
+
+        luby_pts.push((logd, luby));
+        g16_pts.push((logd, g16));
+        thm_iter_pts.push((logd, thm_i));
+        thm_phase_pts.push((logd, thm_p));
+        table.row(&[
+            d.to_string(),
+            delta.to_string(),
+            f2(logd),
+            f2(luby),
+            f2(g16),
+            f2(thm_i),
+            f2(thm_p),
+            f2(thm_rounds),
+        ]);
+    }
+
+    let mut fits = Table::new(
+        "E2: least-squares slope against log2 Δ (shape check)",
+        &["series", "slope", "r^2", "expected shape"],
+    );
+    if luby_pts.len() >= 2 {
+        let fl = fit_line(&luby_pts);
+        fits.row(&["luby rounds".to_string(), f2(fl.slope), f2(fl.r_squared), "≈ flat (O(log n))".to_string()]);
+        let fg = fit_line(&g16_pts);
+        fits.row(&["g16 iterations".to_string(), f2(fg.slope), f2(fg.r_squared), "linear in log Δ".to_string()]);
+        let ft = fit_line(&thm_iter_pts);
+        fits.row(&["thm1.1 iterations".to_string(), f2(ft.slope), f2(ft.r_squared), "linear in log Δ".to_string()]);
+        let fp = fit_line(&thm_phase_pts);
+        fits.row(&["thm1.1 phases".to_string(), f2(fp.slope), f2(fp.r_squared), "slope ≈ iters-slope / P".to_string()]);
+    }
+    vec![table, fits]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e2_smoke() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 2);
+    }
+}

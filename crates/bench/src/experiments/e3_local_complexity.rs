@@ -1,0 +1,116 @@
+//! **E3 — local complexity of the beeping MIS (Theorem 2.1).**
+//!
+//! The theorem: each node `v` decides within
+//! `T = C(log deg(v) + log 1/ε)` iterations w.p. `≥ 1-ε`. Two measurable
+//! consequences:
+//!
+//! 1. Mean (and p90) decision time grows linearly in `log deg` — measured
+//!    on random regular graphs where every node has the same degree.
+//! 2. The tail is exponential: the fraction of nodes still undecided after
+//!    `t` iterations decays like `e^{-λ t}` beyond the `O(log Δ)` knee —
+//!    fitted on a `G(n, p)` instance.
+
+use cc_mis_analysis::stats::{fit_exponential_decay, fit_line, Summary};
+use cc_mis_analysis::table::{f2, f3, Table};
+use cc_mis_core::beeping_mis::{run_beeping, BeepingParams};
+use cc_mis_graph::generators;
+
+use crate::default_trials;
+
+/// Runs E3 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 128 } else { 1024 };
+    let degrees: &[usize] = if quick { &[4, 16] } else { &[2, 4, 8, 16, 32, 64] };
+    let trials = if quick { 2 } else { default_trials() };
+
+    // Part 1: decision time vs degree on regular graphs.
+    let mut t1 = Table::new(
+        format!("E3a: beeping-MIS decision time vs degree (regular graphs, n = {n})"),
+        &["d", "log2 d", "mean removal iter", "p90", "max"],
+    );
+    let mut pts = Vec::new();
+    for &d in degrees {
+        let mut removal: Vec<f64> = Vec::new();
+        for seed in 0..trials as u64 {
+            let g = generators::random_regular(n, d, 100 + seed);
+            let run = run_beeping(&g, &BeepingParams::for_graph(&g), seed);
+            assert!(run.residual.is_empty(), "node left undecided");
+            removal.extend(run.removed_at.iter().map(|r| r.expect("decided") as f64 + 1.0));
+        }
+        let s = Summary::of(&removal);
+        let logd = (d.max(2) as f64).log2();
+        pts.push((logd, s.mean));
+        t1.row(&[
+            d.to_string(),
+            f2(logd),
+            f2(s.mean),
+            f2(s.p90),
+            f2(s.max),
+        ]);
+    }
+    let mut shape = Table::new(
+        "E3a fit: mean decision time ≈ C·log2(deg) + c0 (Theorem 2.1 shape)",
+        &["C (slope)", "c0", "r^2"],
+    );
+    if pts.len() >= 2 {
+        let fit = fit_line(&pts);
+        shape.row(&[f2(fit.slope), f2(fit.intercept), f3(fit.r_squared)]);
+    }
+
+    // Part 2: survival tail on G(n, p).
+    let g = generators::erdos_renyi_gnp(n, 16.0 / n as f64, 5);
+    let mut survivors_at: Vec<f64> = Vec::new();
+    let mut max_t = 0usize;
+    let mut runs = Vec::new();
+    for seed in 0..trials as u64 {
+        let run = run_beeping(&g, &BeepingParams::for_graph(&g), 200 + seed);
+        max_t = max_t.max(run.iterations as usize);
+        runs.push(run);
+    }
+    for t in 0..max_t {
+        let mut undecided = 0usize;
+        let mut total = 0usize;
+        for run in &runs {
+            total += g.node_count();
+            undecided += run
+                .removed_at
+                .iter()
+                .filter(|r| r.map(|x| x as usize >= t).unwrap_or(true))
+                .count();
+        }
+        survivors_at.push(undecided as f64 / total as f64);
+    }
+    let mut t2 = Table::new(
+        format!("E3b: survival fraction after t iterations (G(n,16/n), n = {n})"),
+        &["t", "undecided fraction"],
+    );
+    for (t, s) in survivors_at.iter().enumerate() {
+        t2.row(&[t.to_string(), f3(*s)]);
+    }
+    let mut tail = Table::new(
+        "E3b fit: undecided(t) ≈ a·exp(-λt) on the tail (exponential decay)",
+        &["a", "lambda", "r^2"],
+    );
+    let tail_points: Vec<(f64, f64)> = survivors_at
+        .iter()
+        .enumerate()
+        .skip(survivors_at.len() / 3) // beyond the knee
+        .map(|(t, &s)| (t as f64, s))
+        .collect();
+    if tail_points.iter().filter(|p| p.1 > 0.0).count() >= 2 {
+        let (a, lambda, r2) = fit_exponential_decay(&tail_points);
+        tail.row(&[f3(a), f3(lambda), f3(r2)]);
+    }
+
+    vec![t1, shape, t2, tail]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e3_smoke() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 4);
+        assert!(!tables[0].is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! **E5 — shattering (Lemma 2.11).**
+//!
+//! After `Θ(log Δ)` iterations of the sparsified algorithm, the graph
+//! induced by undecided nodes has `O(n)` edges w.h.p. We sweep `n` at
+//! fixed average degree and report residual edges (absolute and per
+//! vertex), plus the largest residual component — the quantity that makes
+//! the leader clean-up `O(1)` rounds.
+
+use cc_mis_analysis::experiment::run_trials;
+use cc_mis_analysis::table::{f2, f3, Table};
+use cc_mis_core::sparsified::{run_sparsified, SparsifiedParams};
+use cc_mis_graph::ops::{component_sizes, induced_subgraph};
+use cc_mis_graph::Graph;
+
+use crate::{default_trials, Family};
+
+/// Runs E5 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick { &[128, 256] } else { &[256, 512, 1024, 2048, 4096] };
+    let trials = if quick { 2 } else { default_trials() };
+    let family = Family::GnpAvgDeg(16);
+
+    let mut t = Table::new(
+        "E5: residual after Θ(log Δ) sparsified iterations (G(n,16/n), means over seeds)",
+        &[
+            "n",
+            "m",
+            "iters",
+            "residual nodes",
+            "residual edges",
+            "edges / n",
+            "largest comp",
+        ],
+    );
+    for &n in sizes {
+        let g = family.build(n, 9);
+        let mut nodes = Vec::new();
+        let mut comps = Vec::new();
+        let mut iters = Vec::new();
+        let edges = run_trials(400, trials, |seed| {
+            let run = run_sparsified(&g, &SparsifiedParams::for_graph(&g), seed);
+            nodes.push(run.residual.len() as f64);
+            iters.push(run.iterations as f64);
+            comps.push(largest_residual_component(&g, &run.residual) as f64);
+            run.residual_edge_count as f64
+        });
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let edge_vals: Vec<f64> = edges.iter().map(|t| t.value).collect();
+        t.row(&[
+            n.to_string(),
+            g.edge_count().to_string(),
+            f2(mean(&iters)),
+            f2(mean(&nodes)),
+            f2(mean(&edge_vals)),
+            f3(mean(&edge_vals) / n as f64),
+            f2(mean(&comps)),
+        ]);
+    }
+    vec![t]
+}
+
+fn largest_residual_component(g: &Graph, residual: &[cc_mis_graph::NodeId]) -> usize {
+    if residual.is_empty() {
+        return 0;
+    }
+    let (sub, _) = induced_subgraph(g, residual);
+    component_sizes(&sub).first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e5_smoke() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 2);
+    }
+}

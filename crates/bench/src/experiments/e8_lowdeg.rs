@@ -1,0 +1,114 @@
+//! **E8 — the low-degree fast path (Lemma 2.15) and the Theorem 1.1
+//! case split.**
+//!
+//! When `Δ ≤ 2^{c√(δ log n)}` *and* the `O(log Δ)`-hop balls stay below
+//! `n^δ`, gather-and-replay solves MIS in `O(log log Δ)` routing
+//! invocations. Both conditions matter:
+//!
+//! * On **locally finite** families (cycles, grids, trees) balls grow
+//!   polynomially with the radius, the capacity condition holds, and the
+//!   measured gather is a handful of doubling steps of few rounds each.
+//! * On **expander-like** families (random regular), *any* `Θ(log Δ)`
+//!   radius covers the entire graph once `n ≤ Δ^{O(log Δ)}` — at laptop
+//!   scale the ball is the whole graph and the measured rounds blow up.
+//!   The paper's `n^δ` budget needs astronomically larger `n` there; the
+//!   table reports the blow-up honestly.
+//!
+//! The second table records which branch the Theorem 1.1 dispatcher takes.
+
+use cc_mis_analysis::table::Table;
+use cc_mis_core::lowdeg::{run_lowdeg, run_theorem_1_1, LowDegParams, Strategy};
+use cc_mis_graph::{checks, generators, Graph};
+
+use crate::Family;
+
+/// Runs E8 and returns its tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 128 } else { 1024 };
+
+    let mut t = Table::new(
+        format!("E8: Lemma 2.15 fast path (n ≈ {n}; 'regular' rows are the expander counterexample)"),
+        &[
+            "family",
+            "Δ",
+            "replay iters",
+            "gather steps",
+            "max ball edges",
+            "gather rounds",
+            "total rounds",
+            "residual",
+        ],
+    );
+    let families: Vec<(&str, Graph)> = if quick {
+        vec![
+            ("cycle", generators::cycle(n)),
+            ("grid", generators::grid(11, 12)),
+        ]
+    } else {
+        vec![
+            ("cycle", generators::cycle(n)),
+            ("grid", generators::grid(32, 32)),
+            ("tree-2", generators::balanced_tree(2, 9)),
+            ("caterpillar", generators::caterpillar(256, 3)),
+            ("regular-3", generators::random_regular(n, 3, 11)),
+            ("regular-4", generators::random_regular(n, 4, 11)),
+        ]
+    };
+    for (name, g) in &families {
+        let out = run_lowdeg(g, &LowDegParams::default(), 3);
+        assert!(checks::is_maximal_independent_set(g, &out.mis));
+        t.row(&[
+            name.to_string(),
+            g.max_degree().to_string(),
+            out.iterations.to_string(),
+            out.gather_steps.to_string(),
+            out.max_ball_edges.to_string(),
+            out.gather_rounds.to_string(),
+            out.rounds.to_string(),
+            out.residual_nodes.to_string(),
+        ]);
+    }
+
+    let mut t2 = Table::new(
+        format!("E8b: Theorem 1.1 dispatcher branch vs Δ (n = {n}, threshold 2^√log2 n)"),
+        &["family", "Δ", "branch", "rounds"],
+    );
+    let families: &[Family] = if quick {
+        &[Family::Regular(3), Family::GnpAvgDeg(32)]
+    } else {
+        &[
+            Family::Grid,
+            Family::Regular(3),
+            Family::GnpAvgDeg(8),
+            Family::GnpAvgDeg(32),
+            Family::GnpPowerDelta(50),
+            Family::Star,
+        ]
+    };
+    for f in families {
+        let g = f.build(n, 13);
+        let (out, strategy) = run_theorem_1_1(&g, 4);
+        assert!(checks::is_maximal_independent_set(&g, &out.mis));
+        t2.row(&[
+            f.label(),
+            g.max_degree().to_string(),
+            match strategy {
+                Strategy::LowDegree => "low-degree (L2.15)".to_string(),
+                Strategy::Sparsified => "sparsified (§2.4)".to_string(),
+            },
+            out.ledger.rounds.to_string(),
+        ]);
+    }
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e8_smoke() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 2);
+        assert_eq!(tables[1].len(), 2);
+    }
+}

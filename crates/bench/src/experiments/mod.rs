@@ -1,0 +1,32 @@
+//! The experiment implementations, one module per claim (DESIGN.md §4).
+//!
+//! Every module exposes `run(quick: bool) -> Vec<Table>`: `quick` shrinks
+//! sweeps to smoke-test size (used by this crate's tests so each experiment
+//! stays continuously runnable); the binaries in `src/bin/` call `run`
+//! with `quick = cc_mis_bench::quick_mode()` and print the tables.
+
+pub mod a1_ablation;
+pub mod e10_accounting;
+pub mod e11_reductions;
+pub mod e12_lca;
+pub mod e1_headline;
+pub mod e2_delta_scaling;
+pub mod e3_local_complexity;
+pub mod e4_golden_rounds;
+pub mod e5_shattering;
+pub mod e6_sparsification;
+pub mod e7_exponentiation;
+pub mod e8_lowdeg;
+pub mod e9_equivalence;
+
+use cc_mis_analysis::table::Table;
+
+/// Prints every table of an experiment and optionally dumps CSVs.
+pub fn emit(name: &str, tables: &[Table]) {
+    for (i, t) in tables.iter().enumerate() {
+        println!("{t}");
+        if let Some(path) = crate::maybe_write_csv(&format!("{name}_{i}"), &t.to_csv()) {
+            println!("(csv written to {})", path.display());
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Graph exponentiation (Lemma 2.14): learning `r`-hop neighborhoods in
+//! `O(log r)` congested-clique rounds.
+//!
+//! The doubling scheme of the paper's proof (re-proving [Lenzen &
+//! Wattenhofer, PODC'10]): initially every node knows its incident edges
+//! (radius-1 ball). In step `i`, every node ships its currently-known ball
+//! to every node *inside* that ball; since the ball holds all nodes within
+//! distance `2^i`, the union of received balls covers radius `2^{i+1}`.
+//! After `⌈log₂ r⌉` steps each node knows its `r`-hop neighborhood. Each
+//! step's packet exchange is delivered with Lenzen routing
+//! ([`cc_mis_sim::routing`]), whose measured rounds are charged to the
+//! engine — `O(1)` per step whenever the Lemma 2.14 capacity precondition
+//! (ball size `≪ n^{δ}`) holds.
+//!
+//! Knowledge travels as *edge records*. A record's declared size
+//! (`record_bits`) includes whatever decorations ride along — the caller
+//! using decorated graphs `G*[S]` (§2.4) passes the decorated size, so the
+//! bit accounting covers decorations even though the payload carries only
+//! the edge (decorations being reconstructible from the shared randomness;
+//! see DESIGN.md §2).
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use cc_mis_graph::{Graph, NodeId};
+use cc_mis_sim::clique::CliqueEngine;
+use cc_mis_sim::routing::{route, Packet};
+
+/// Result of a [`gather_balls`] invocation.
+#[derive(Debug, Clone)]
+pub struct GatherResult {
+    /// For each node: the set of known edges `(u, v)` with `u < v`
+    /// (non-participants have empty balls).
+    pub balls: Vec<BTreeSet<(u32, u32)>>,
+    /// Doubling steps performed (`⌈log₂ radius⌉`).
+    pub steps: u64,
+    /// Clique rounds the routing consumed (also charged to the engine).
+    pub rounds: u64,
+    /// Largest ball, in edges, at the end.
+    pub max_ball_edges: usize,
+}
+
+/// Gathers, for every `participant` node, all edges of `gather` within
+/// distance `radius` of it.
+///
+/// `gather` must have the same vertex numbering as the engine; its edges
+/// are the knowledge being learned (for §2.4 this is `G[S]`; for §2.5 it is
+/// `G` itself). Only participants hold and exchange knowledge; edges with a
+/// non-participant endpoint are assumed absent from `gather`.
+///
+/// # Panics
+///
+/// Panics if `radius == 0` or the mask length mismatches the graph.
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_core::exponentiation::gather_balls;
+/// use cc_mis_sim::clique::CliqueEngine;
+/// use cc_mis_graph::generators;
+///
+/// let g = generators::path(6);
+/// let mut engine = CliqueEngine::strict(6, 64);
+/// let res = gather_balls(&mut engine, &g, &vec![true; 6], 2, 20);
+/// // Node 0 sees edges (0,1) and (1,2) — its 2-hop ball on a path.
+/// assert!(res.balls[0].contains(&(0, 1)));
+/// assert!(res.balls[0].contains(&(1, 2)));
+/// assert!(!res.balls[0].contains(&(2, 3)));
+/// ```
+pub fn gather_balls(
+    engine: &mut CliqueEngine,
+    gather: &Graph,
+    participant: &[bool],
+    radius: usize,
+    record_bits: u64,
+) -> GatherResult {
+    assert!(radius >= 1, "radius must be at least 1");
+    assert_eq!(participant.len(), gather.node_count(), "participant mask mismatch");
+    let n = gather.node_count();
+
+    // Radius-1 initialization: incident edges.
+    let mut balls: Vec<BTreeSet<(u32, u32)>> = vec![BTreeSet::new(); n];
+    for (u, v) in gather.edges() {
+        if participant[u.index()] && participant[v.index()] {
+            balls[u.index()].insert((u.raw(), v.raw()));
+            balls[v.index()].insert((u.raw(), v.raw()));
+        }
+    }
+
+    let steps = if radius <= 1 { 0 } else { (radius as f64).log2().ceil() as u64 };
+    let mut total_rounds = 0u64;
+    let mut steps_run = 0u64;
+    for _ in 0..steps {
+        type BallPayload = Rc<Vec<(u32, u32)>>;
+        let mut packets: Vec<Packet<BallPayload>> = Vec::new();
+        for v in 0..n {
+            if !participant[v] || balls[v].is_empty() {
+                continue;
+            }
+            let payload = Rc::new(balls[v].iter().copied().collect::<Vec<_>>());
+            let bits = payload.len() as u64 * record_bits;
+            let mut targets: BTreeSet<u32> = BTreeSet::new();
+            for &(a, b) in balls[v].iter() {
+                targets.insert(a);
+                targets.insert(b);
+            }
+            targets.remove(&(v as u32));
+            for t in targets {
+                packets.push(Packet {
+                    src: NodeId::new(v as u32),
+                    dst: NodeId::new(t),
+                    bits,
+                    payload: Rc::clone(&payload),
+                });
+            }
+        }
+        let (inboxes, outcome) = route(engine, packets).expect("gather packets are well-formed");
+        total_rounds += outcome.rounds;
+        steps_run += 1;
+        let mut grew = false;
+        // The engine may be larger than the gather graph (it is padded to
+        // at least 2 nodes); ignore inboxes beyond the graph.
+        let full = gather.edge_count();
+        for (v, inbox) in inboxes.into_iter().enumerate().take(n) {
+            let before = balls[v].len();
+            for packet in inbox {
+                // A ball holding every edge of the gather graph can learn
+                // nothing more — skip the remaining unions (a large
+                // wall-clock saving in the saturating step; the routing
+                // rounds were already charged, so accounting is unchanged).
+                if balls[v].len() == full {
+                    break;
+                }
+                balls[v].extend(packet.payload.iter().copied());
+            }
+            grew |= balls[v].len() != before;
+        }
+        // Saturation: once no ball grew, further doubling steps are no-ops
+        // (each node already knows its entire component) — skip them.
+        if !grew {
+            break;
+        }
+    }
+
+    let max_ball_edges = balls.iter().map(BTreeSet::len).max().unwrap_or(0);
+    GatherResult {
+        balls,
+        steps: steps_run,
+        rounds: total_rounds,
+        max_ball_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_mis_graph::generators;
+    use cc_mis_sim::bits::standard_bandwidth;
+    use std::collections::VecDeque;
+
+    fn engine_for(n: usize) -> CliqueEngine {
+        CliqueEngine::strict(n.max(2), standard_bandwidth(n.max(2)))
+    }
+
+    /// Reference: edges within BFS distance `radius` of `s`.
+    fn bfs_ball(g: &Graph, s: NodeId, radius: usize) -> BTreeSet<(u32, u32)> {
+        let mut dist = vec![usize::MAX; g.node_count()];
+        dist[s.index()] = 0;
+        let mut q = VecDeque::from([s]);
+        while let Some(v) = q.pop_front() {
+            if dist[v.index()] >= radius {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if dist[u.index()] == usize::MAX {
+                    dist[u.index()] = dist[v.index()] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        // An edge is in the ball when it lies on a path within the radius:
+        // min(dist(u), dist(v)) + 1 ≤ radius.
+        g.edges()
+            .filter(|&(u, v)| {
+                let du = dist[u.index()];
+                let dv = dist[v.index()];
+                du.min(dv) < radius
+            })
+            .map(|(u, v)| (u.raw(), v.raw()))
+            .collect()
+    }
+
+    #[test]
+    fn balls_contain_bfs_balls() {
+        // The gathered ball must contain every edge within the radius
+        // (it may contain more — doubling overshoots to the next power of
+        // two, exactly as in the paper).
+        for (g, radius) in [
+            (generators::cycle(16), 3),
+            (generators::grid(4, 5), 2),
+            (generators::erdos_renyi_gnp(40, 0.08, 1), 3),
+            (generators::balanced_tree(2, 4), 4),
+        ] {
+            let n = g.node_count();
+            let mut engine = engine_for(n);
+            let res = gather_balls(&mut engine, &g, &vec![true; n], radius, 24);
+            for v in g.nodes() {
+                let expected = bfs_ball(&g, v, radius);
+                assert!(
+                    expected.is_subset(&res.balls[v.index()]),
+                    "node {v} radius {radius} missing edges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balls_do_not_exceed_doubled_radius() {
+        let g = generators::path(20);
+        let n = g.node_count();
+        let mut engine = engine_for(n);
+        // radius 3 → 2 steps → effective radius 4.
+        let res = gather_balls(&mut engine, &g, &vec![true; n], 3, 24);
+        assert_eq!(res.steps, 2);
+        let ball0 = &res.balls[0];
+        let reach = bfs_ball(&g, NodeId::new(0), 4);
+        assert!(ball0.is_subset(&reach), "ball exceeded doubled radius");
+    }
+
+    #[test]
+    fn steps_are_logarithmic_in_radius() {
+        let g = generators::cycle(64);
+        for (radius, expected_steps) in [(1, 0), (2, 1), (3, 2), (4, 2), (8, 3), (9, 4)] {
+            let mut engine = engine_for(64);
+            let res = gather_balls(&mut engine, &g, &[true; 64], radius, 16);
+            assert_eq!(res.steps, expected_steps, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn rounds_stay_constant_per_step_on_bounded_degree() {
+        // Lemma 2.14's promise: O(1) rounds per doubling when balls are
+        // small. A cycle has 2 edges per ball initially.
+        let g = generators::cycle(128);
+        let mut engine = engine_for(128);
+        let res = gather_balls(&mut engine, &g, &[true; 128], 4, 16);
+        assert!(
+            res.rounds <= 8 * res.steps.max(1),
+            "{} rounds over {} steps",
+            res.rounds,
+            res.steps
+        );
+    }
+
+    #[test]
+    fn non_participants_hold_nothing() {
+        let g = generators::complete(6);
+        let mut mask = vec![true; 6];
+        mask[0] = false;
+        // Edges incident to 0 are not in the gather graph from its side —
+        // the caller promises this; emulate by filtering.
+        let filtered = cc_mis_graph::ops::filter_vertices(&g, |v| v.raw() != 0);
+        let mut engine = engine_for(6);
+        let res = gather_balls(&mut engine, &filtered, &mask, 2, 16);
+        assert!(res.balls[0].is_empty());
+        assert!(res.balls[1].iter().all(|&(a, b)| a != 0 && b != 0));
+    }
+
+    #[test]
+    fn radius_one_costs_no_rounds() {
+        let g = generators::grid(3, 3);
+        let mut engine = engine_for(9);
+        let res = gather_balls(&mut engine, &g, &[true; 9], 1, 16);
+        assert_eq!(res.rounds, 0);
+        assert_eq!(engine.ledger().rounds, 0);
+        // Radius-1 knowledge is the incident edges.
+        assert_eq!(res.balls[0].len(), g.degree(NodeId::new(0)));
+    }
+
+    #[test]
+    fn empty_graph_gathers_nothing() {
+        let g = cc_mis_graph::Graph::empty(5);
+        let mut engine = engine_for(5);
+        let res = gather_balls(&mut engine, &g, &[true; 5], 4, 16);
+        assert!(res.balls.iter().all(BTreeSet::is_empty));
+        assert_eq!(res.rounds, 0);
+        assert_eq!(res.max_ball_edges, 0);
+    }
+}

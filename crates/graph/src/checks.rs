@@ -1,0 +1,278 @@
+//! Solution verifiers.
+//!
+//! Every algorithm in the workspace is checked against these verifiers in its
+//! tests; the experiment binaries also verify every output before reporting
+//! round counts, so a buggy algorithm cannot silently "win" a benchmark.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Whether `set` is an independent set of `g` (no two members adjacent).
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_graph::{generators, checks, NodeId};
+/// let g = generators::path(4);
+/// assert!(checks::is_independent_set(&g, &[NodeId::new(0), NodeId::new(2)]));
+/// assert!(!checks::is_independent_set(&g, &[NodeId::new(0), NodeId::new(1)]));
+/// ```
+pub fn is_independent_set(g: &Graph, set: &[NodeId]) -> bool {
+    let mut member = vec![false; g.node_count()];
+    for &v in set {
+        if v.index() >= g.node_count() || member[v.index()] {
+            return false; // out of range or duplicate
+        }
+        member[v.index()] = true;
+    }
+    for &v in set {
+        if g.neighbors(v).iter().any(|&u| member[u.index()]) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether `set` dominates `g`: every vertex is in `set` or adjacent to it.
+pub fn is_dominating_set(g: &Graph, set: &[NodeId]) -> bool {
+    let mut covered = vec![false; g.node_count()];
+    for &v in set {
+        if v.index() >= g.node_count() {
+            return false;
+        }
+        covered[v.index()] = true;
+        for &u in g.neighbors(v) {
+            covered[u.index()] = true;
+        }
+    }
+    covered.into_iter().all(|c| c)
+}
+
+/// Whether `set` is a **maximal** independent set: independent, and no
+/// vertex can be added (equivalently, independent and dominating).
+///
+/// This is the verifier every MIS algorithm's output must pass.
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_graph::{generators, checks, NodeId};
+/// let g = generators::path(4); // 0-1-2-3
+/// assert!(checks::is_maximal_independent_set(&g, &[NodeId::new(0), NodeId::new(2)]));
+/// // {0, 3} is independent but not maximal: 1 or 2 could still... actually
+/// // 1 is adjacent to 0 and 2 is adjacent to 3, so {0,3} IS maximal.
+/// assert!(checks::is_maximal_independent_set(&g, &[NodeId::new(0), NodeId::new(3)]));
+/// // {1} alone is not maximal: 3 has no neighbor in it.
+/// assert!(!checks::is_maximal_independent_set(&g, &[NodeId::new(1)]));
+/// ```
+pub fn is_maximal_independent_set(g: &Graph, set: &[NodeId]) -> bool {
+    is_independent_set(g, set) && is_dominating_set(g, set)
+}
+
+/// Whether `matching` is a valid matching of `g`: every pair is an edge of
+/// `g` and no vertex appears twice.
+pub fn is_matching(g: &Graph, matching: &[(NodeId, NodeId)]) -> bool {
+    let mut used = vec![false; g.node_count()];
+    for &(u, v) in matching {
+        if u.index() >= g.node_count() || v.index() >= g.node_count() {
+            return false;
+        }
+        if !g.has_edge(u, v) || used[u.index()] || used[v.index()] {
+            return false;
+        }
+        used[u.index()] = true;
+        used[v.index()] = true;
+    }
+    true
+}
+
+/// Whether `matching` is a **maximal** matching: valid, and every edge of
+/// `g` touches a matched vertex.
+pub fn is_maximal_matching(g: &Graph, matching: &[(NodeId, NodeId)]) -> bool {
+    if !is_matching(g, matching) {
+        return false;
+    }
+    let mut used = vec![false; g.node_count()];
+    for &(u, v) in matching {
+        used[u.index()] = true;
+        used[v.index()] = true;
+    }
+    g.edges().all(|(u, v)| used[u.index()] || used[v.index()])
+}
+
+/// Whether `colors` (one entry per vertex) is a proper coloring of `g` using
+/// colors `< palette`.
+pub fn is_proper_coloring(g: &Graph, colors: &[usize], palette: usize) -> bool {
+    if colors.len() != g.node_count() {
+        return false;
+    }
+    if colors.iter().any(|&c| c >= palette) {
+        return false;
+    }
+    g.edges().all(|(u, v)| colors[u.index()] != colors[v.index()])
+}
+
+/// Whether `set` is a `k`-ruling set: independent, and every vertex of `g`
+/// is within distance `k` of some member.
+///
+/// A 1-ruling set is exactly an MIS. The paper's related work (§1.1)
+/// discusses 2- and 3-ruling sets as relaxations.
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_graph::{generators, checks, NodeId};
+/// let g = generators::path(5); // 0-1-2-3-4
+/// assert!(checks::is_k_ruling_set(&g, &[NodeId::new(2)], 2));
+/// assert!(!checks::is_k_ruling_set(&g, &[NodeId::new(2)], 1));
+/// ```
+pub fn is_k_ruling_set(g: &Graph, set: &[NodeId], k: usize) -> bool {
+    if !is_independent_set(g, set) {
+        return false;
+    }
+    // Multi-source BFS to depth k.
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut queue = VecDeque::new();
+    for &v in set {
+        dist[v.index()] = 0;
+        queue.push_back(v);
+    }
+    while let Some(v) = queue.pop_front() {
+        if dist[v.index()] >= k {
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            if dist[u.index()] == usize::MAX {
+                dist[u.index()] = dist[v.index()] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist.into_iter().all(|d| d != usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn ids(raw: &[u32]) -> Vec<NodeId> {
+        raw.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn empty_set_on_empty_graph_is_mis() {
+        let g = Graph::empty(0);
+        assert!(is_maximal_independent_set(&g, &[]));
+    }
+
+    #[test]
+    fn empty_set_on_nonempty_graph_is_not_mis() {
+        let g = Graph::empty(3); // three isolated vertices
+        assert!(is_independent_set(&g, &[]));
+        assert!(!is_maximal_independent_set(&g, &[]));
+        assert!(is_maximal_independent_set(&g, &ids(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn duplicate_members_rejected() {
+        let g = generators::path(3);
+        assert!(!is_independent_set(&g, &ids(&[0, 0])));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let g = generators::path(3);
+        assert!(!is_independent_set(&g, &ids(&[5])));
+        assert!(!is_dominating_set(&g, &ids(&[5])));
+    }
+
+    #[test]
+    fn cycle_mis() {
+        let g = generators::cycle(6);
+        assert!(is_maximal_independent_set(&g, &ids(&[0, 2, 4])));
+        // Adjacent pair is never independent.
+        assert!(!is_maximal_independent_set(&g, &ids(&[0, 1])));
+    }
+
+    #[test]
+    fn cycle_mis_two_apart_is_maximal() {
+        let g = generators::cycle(6);
+        // Re-check the case above carefully: {0,3} covers 1,5 (via 0) and
+        // 2,4 (via 3), so it IS maximal.
+        assert!(is_maximal_independent_set(&g, &ids(&[0, 3])));
+        // But {0} alone is not.
+        assert!(!is_maximal_independent_set(&g, &ids(&[0])));
+    }
+
+    #[test]
+    fn star_center_is_mis() {
+        let g = generators::star(10);
+        assert!(is_maximal_independent_set(&g, &ids(&[0])));
+        let leaves: Vec<NodeId> = (1..10).map(NodeId::new).collect();
+        assert!(is_maximal_independent_set(&g, &leaves));
+    }
+
+    #[test]
+    fn matching_checks() {
+        let g = generators::path(4); // 0-1-2-3
+        let m1 = [(NodeId::new(0), NodeId::new(1)), (NodeId::new(2), NodeId::new(3))];
+        assert!(is_maximal_matching(&g, &m1));
+        let m2 = [(NodeId::new(1), NodeId::new(2))];
+        assert!(is_matching(&g, &m2));
+        assert!(is_maximal_matching(&g, &m2)); // edges {0,1},{2,3} both touch
+        let bad = [(NodeId::new(0), NodeId::new(2))]; // not an edge
+        assert!(!is_matching(&g, &bad));
+        let overlap = [(NodeId::new(0), NodeId::new(1)), (NodeId::new(1), NodeId::new(2))];
+        assert!(!is_matching(&g, &overlap));
+    }
+
+    #[test]
+    fn empty_matching_maximality() {
+        let g = Graph::empty(4);
+        assert!(is_maximal_matching(&g, &[]));
+        let p = generators::path(2);
+        assert!(!is_maximal_matching(&p, &[]));
+    }
+
+    #[test]
+    fn coloring_checks() {
+        let g = generators::cycle(4);
+        assert!(is_proper_coloring(&g, &[0, 1, 0, 1], 2));
+        assert!(!is_proper_coloring(&g, &[0, 0, 1, 1], 2)); // 0-1 conflict
+        assert!(!is_proper_coloring(&g, &[0, 1, 0, 2], 2)); // palette overflow
+        assert!(!is_proper_coloring(&g, &[0, 1, 0], 2)); // wrong length
+    }
+
+    #[test]
+    fn ruling_set_distances() {
+        let g = generators::path(7); // 0..6
+        assert!(is_k_ruling_set(&g, &ids(&[0, 3, 6]), 1)); // an MIS
+        assert!(is_k_ruling_set(&g, &ids(&[3]), 3));
+        assert!(!is_k_ruling_set(&g, &ids(&[3]), 2));
+        // Dependent set is rejected no matter the radius.
+        assert!(!is_k_ruling_set(&g, &ids(&[2, 3]), 5));
+    }
+
+    #[test]
+    fn mis_is_one_ruling() {
+        let g = generators::erdos_renyi_gnp(60, 0.1, 4);
+        // greedy MIS here, inline: lowest-id first
+        let mut in_set = [false; 60];
+        let mut blocked = [false; 60];
+        let mut set = Vec::new();
+        for v in g.nodes() {
+            if !blocked[v.index()] {
+                in_set[v.index()] = true;
+                set.push(v);
+                for &u in g.neighbors(v) {
+                    blocked[u.index()] = true;
+                }
+                blocked[v.index()] = true;
+            }
+        }
+        assert!(is_maximal_independent_set(&g, &set));
+        assert!(is_k_ruling_set(&g, &set, 1));
+    }
+}

@@ -1,0 +1,48 @@
+//! Graph substrate for the `clique-mis` reproduction of
+//! *"Distributed MIS via All-to-All Communication"* (Ghaffari, PODC 2017).
+//!
+//! This crate provides everything the distributed-model simulators and the
+//! MIS algorithms need from a graph library:
+//!
+//! * [`Graph`] — a compact, immutable, undirected simple graph in CSR form,
+//!   with sorted adjacency for `O(log deg)` edge queries.
+//! * [`GraphBuilder`] — incremental construction with validation
+//!   (no self-loops, no out-of-range endpoints, duplicate edges deduplicated).
+//! * [`generators`] — seeded, deterministic random and structured graph
+//!   families used by the experiments (Erdős–Rényi, random regular,
+//!   Barabási–Albert, Chung–Lu power law, grids, trees, cliques, …).
+//! * [`ops`] — structural operations: induced subgraphs, graph powers
+//!   (needed by the graph-exponentiation primitive of Lemma 2.14), line
+//!   graphs and coloring products (for the standard reductions of `[Linial]`),
+//!   connected components.
+//! * [`checks`] — solution verifiers: independence, maximality, domination,
+//!   matchings, colorings, and `k`-ruling sets.
+//! * [`rng`] — small, dependency-free deterministic RNG primitives
+//!   (SplitMix64 and a counter-based stream) shared by the whole workspace.
+//!   They live here because this is the lowest layer of the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_mis_graph::{generators, checks, NodeId};
+//!
+//! let g = generators::erdos_renyi_gnp(200, 0.05, 42);
+//! assert_eq!(g.node_count(), 200);
+//! // A single vertex is always an independent set.
+//! assert!(checks::is_independent_set(&g, &[NodeId::new(0)]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod checks;
+pub mod generators;
+pub mod io;
+pub mod ops;
+pub mod rng;
+
+mod graph_impl;
+
+pub use builder::{GraphBuilder, GraphError};
+pub use graph_impl::{EdgeIter, Graph, NodeId, NodeIter};

@@ -1,0 +1,176 @@
+//! The full-duplex beeping engine.
+//!
+//! Per round, each node either beeps or stays silent, and every node
+//! (including a beeping one — *full duplex*, see footnote 2 of the paper)
+//! learns whether **at least one of its neighbors** beeped. A node cannot
+//! count beeping neighbors, and does not hear its own beep.
+
+use cc_mis_graph::{Graph, NodeId};
+
+use crate::metrics::RoundLedger;
+
+/// Simulator of the full-duplex beeping model over a fixed graph.
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_sim::beeping::BeepingEngine;
+/// use cc_mis_graph::generators;
+///
+/// let g = generators::path(3); // 0-1-2
+/// let mut engine = BeepingEngine::new(&g);
+/// let heard = engine.round(&[true, false, false]);
+/// assert_eq!(heard, vec![false, true, false]); // only 1 hears 0's beep
+/// assert_eq!(engine.ledger().rounds, 1);
+/// ```
+#[derive(Debug)]
+pub struct BeepingEngine<'g> {
+    graph: &'g Graph,
+    ledger: RoundLedger,
+}
+
+impl<'g> BeepingEngine<'g> {
+    /// Creates an engine over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        BeepingEngine {
+            graph,
+            ledger: RoundLedger::new(),
+        }
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The accumulated ledger. A beep is accounted as a 1-bit message to
+    /// each neighbor (the information-theoretic content an adversary could
+    /// extract per link; the model itself is weaker).
+    pub fn ledger(&self) -> &RoundLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the ledger (for phase labeling).
+    pub fn ledger_mut(&mut self) -> &mut RoundLedger {
+        &mut self.ledger
+    }
+
+    /// Consumes the engine, returning the final ledger.
+    pub fn into_ledger(self) -> RoundLedger {
+        self.ledger
+    }
+
+    /// Executes one synchronous round: `beeps[v]` says whether node `v`
+    /// beeps. Returns, for each node, whether it heard at least one
+    /// *neighbor* beep (full duplex: independent of its own beep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beeps.len()` differs from the node count.
+    pub fn round(&mut self, beeps: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            beeps.len(),
+            self.graph.node_count(),
+            "beep vector length must equal the node count"
+        );
+        let mut heard = vec![false; beeps.len()];
+        for v in self.graph.nodes() {
+            if beeps[v.index()] {
+                self.ledger.charge_message(self.graph.degree(v) as u64);
+                for &u in self.graph.neighbors(v) {
+                    heard[u.index()] = true;
+                }
+            }
+        }
+        self.ledger.charge_round();
+        heard
+    }
+
+    /// Executes one round where only `beepers` beep (sparse interface).
+    pub fn round_sparse(&mut self, beepers: &[NodeId]) -> Vec<bool> {
+        let mut beeps = vec![false; self.graph.node_count()];
+        for &v in beepers {
+            beeps[v.index()] = true;
+        }
+        self.round(&beeps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_mis_graph::generators;
+
+    #[test]
+    fn hears_or_of_neighbors_not_self() {
+        let g = generators::cycle(4);
+        let mut e = BeepingEngine::new(&g);
+        // Only node 0 beeps: neighbors 1 and 3 hear, 0 and 2 do not.
+        let heard = e.round(&[true, false, false, false]);
+        assert_eq!(heard, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn full_duplex_beeper_hears_beeping_neighbor() {
+        let g = generators::path(2);
+        let mut e = BeepingEngine::new(&g);
+        let heard = e.round(&[true, true]);
+        assert_eq!(heard, vec![true, true]);
+    }
+
+    #[test]
+    fn silence_is_heard_as_silence() {
+        let g = generators::complete(5);
+        let mut e = BeepingEngine::new(&g);
+        let heard = e.round(&[false; 5]);
+        assert!(heard.iter().all(|&h| !h));
+    }
+
+    #[test]
+    fn cannot_count_beepers_only_detect() {
+        let g = generators::star(4);
+        let mut e = BeepingEngine::new(&g);
+        let one = e.round(&[false, true, false, false]);
+        let many = e.round(&[false, true, true, true]);
+        // The center's observation is identical in both cases.
+        assert_eq!(one[0], many[0]);
+    }
+
+    #[test]
+    fn sparse_interface_matches_dense() {
+        let g = generators::cycle(6);
+        let mut e1 = BeepingEngine::new(&g);
+        let mut e2 = BeepingEngine::new(&g);
+        let mut beeps = vec![false; 6];
+        beeps[2] = true;
+        beeps[5] = true;
+        let a = e1.round(&beeps);
+        let b = e2.round_sparse(&[NodeId::new(2), NodeId::new(5)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ledger_counts_rounds_and_beep_bits() {
+        let g = generators::star(5); // center degree 4
+        let mut e = BeepingEngine::new(&g);
+        e.round(&[true, false, false, false, false]);
+        assert_eq!(e.ledger().rounds, 1);
+        assert_eq!(e.ledger().messages, 1);
+        assert_eq!(e.ledger().bits, 4); // one beep heard over 4 links
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal")]
+    fn wrong_length_panics() {
+        let g = generators::path(3);
+        BeepingEngine::new(&g).round(&[true]);
+    }
+
+    #[test]
+    fn isolated_node_never_hears() {
+        let g = cc_mis_graph::Graph::empty(3);
+        let mut e = BeepingEngine::new(&g);
+        let heard = e.round(&[true, true, true]);
+        assert_eq!(heard, vec![false, false, false]);
+    }
+}

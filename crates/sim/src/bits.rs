@@ -1,0 +1,95 @@
+//! Bit-size helpers for message accounting.
+//!
+//! Message payloads in the engines are ordinary Rust values; what the model
+//! constrains is the *encoded size*, which the sender declares explicitly.
+//! These helpers compute canonical encoded sizes so all algorithms account
+//! identically.
+
+/// Bits needed to name one of `n` values (`⌈log₂ n⌉`, and 0 for `n ≤ 1`).
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_sim::bits::bits_for;
+/// assert_eq!(bits_for(1), 0);
+/// assert_eq!(bits_for(2), 1);
+/// assert_eq!(bits_for(1000), 10);
+/// ```
+pub const fn bits_for(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        (u64::BITS - (n - 1).leading_zeros()) as u64
+    }
+}
+
+/// Bits of a node identifier in an `n`-node network.
+pub const fn node_id_bits(n: usize) -> u64 {
+    bits_for(n as u64)
+}
+
+/// The standard `B = Θ(log n)` per-link bandwidth used throughout the paper.
+///
+/// We use `B = c · ⌈log₂ n⌉` with `c = 4`, enough to fit a node id plus a
+/// probability exponent plus control bits in one message, matching the
+/// paper's `O(log n)` with an explicit constant.
+///
+/// A floor of 32 bits keeps toy graphs (n < 256) workable.
+pub const fn standard_bandwidth(n: usize) -> u64 {
+    let b = 4 * bits_for(n as u64);
+    if b < 32 {
+        32
+    } else {
+        b
+    }
+}
+
+/// Bits of a marking/beeping probability. Probabilities in all the paper's
+/// algorithms are powers of two `2^{-e}` with `1 ≤ e ≤ e_max`, so a
+/// probability message is just the exponent.
+///
+/// The exponent never exceeds `log₂ n + O(log Δ)` in a meaningful run; we
+/// cap the encoding at `⌈log₂ (64)⌉ = 6` bits plus one spare ⇒ 7, because
+/// exponents beyond 64 make the probability indistinguishable from zero in
+/// any execution that terminates (and our implementations clamp there).
+pub const PROBABILITY_EXPONENT_BITS: u64 = 7;
+
+/// The clamp matching [`PROBABILITY_EXPONENT_BITS`]: probabilities never
+/// drop below `2^-64`.
+pub const MAX_PROBABILITY_EXPONENT: u32 = 64;
+
+/// Bits of one raw `r_t(v)` coin when shipped inside a decoration
+/// (Θ(log Δ) precision suffices per §2.4; we ship 32 bits ≈ 2 log n for the
+/// sizes we run, which is within the model's `O(log n)` per value).
+pub const COIN_BITS: u64 = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_powers_and_neighbors() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(256), 8);
+        assert_eq!(bits_for(257), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn standard_bandwidth_scales_with_log_n() {
+        assert_eq!(standard_bandwidth(2), 32); // floored
+        assert_eq!(standard_bandwidth(1 << 10), 40);
+        assert_eq!(standard_bandwidth(1 << 16), 64);
+    }
+
+    #[test]
+    fn node_id_bits_matches() {
+        assert_eq!(node_id_bits(1024), 10);
+        assert_eq!(node_id_bits(1000), 10);
+    }
+}

@@ -1,0 +1,249 @@
+//! The CONGEST engine: per-edge `B`-bit messages on a fixed graph.
+//!
+//! Identical round discipline to [`crate::clique::CliqueEngine`], except
+//! messages may only travel along edges of the input graph (§1 of the
+//! paper, model (1)).
+
+use std::collections::HashMap;
+
+use cc_mis_graph::{Graph, NodeId};
+
+use crate::clique::Enforcement;
+use crate::metrics::{BandwidthError, RoundLedger};
+
+/// Simulator of the CONGEST model over a fixed communication graph.
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_sim::congest::CongestEngine;
+/// use cc_mis_graph::{generators, NodeId};
+///
+/// let g = generators::path(3); // 0-1-2
+/// let mut engine = CongestEngine::strict(&g, 32);
+/// let mut round = engine.begin_round::<u8>();
+/// round.send(NodeId::new(0), NodeId::new(1), 8, 99)?;
+/// // 0 and 2 are not adjacent:
+/// assert!(round.send(NodeId::new(0), NodeId::new(2), 8, 1).is_err());
+/// let inboxes = round.deliver();
+/// assert_eq!(inboxes[1], vec![(NodeId::new(0), 99)]);
+/// # Ok::<(), cc_mis_sim::BandwidthError>(())
+/// ```
+#[derive(Debug)]
+pub struct CongestEngine<'g> {
+    graph: &'g Graph,
+    bandwidth: u64,
+    enforcement: Enforcement,
+    ledger: RoundLedger,
+}
+
+impl<'g> CongestEngine<'g> {
+    /// Creates an engine over `graph` with the given per-round per-edge
+    /// `bandwidth` (bits each direction) and enforcement mode.
+    pub fn new(graph: &'g Graph, bandwidth: u64, enforcement: Enforcement) -> Self {
+        CongestEngine {
+            graph,
+            bandwidth,
+            enforcement,
+            ledger: RoundLedger::new(),
+        }
+    }
+
+    /// Strict engine: over-budget or off-edge sends error.
+    pub fn strict(graph: &'g Graph, bandwidth: u64) -> Self {
+        Self::new(graph, bandwidth, Enforcement::Strict)
+    }
+
+    /// Audit engine: over-budget sends are tallied, not refused (off-edge
+    /// sends still error — they are impossible, not merely expensive).
+    pub fn audit(graph: &'g Graph, bandwidth: u64) -> Self {
+        Self::new(graph, bandwidth, Enforcement::Audit)
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Per-round per-directed-edge bit budget.
+    pub fn bandwidth(&self) -> u64 {
+        self.bandwidth
+    }
+
+    /// The accumulated communication ledger.
+    pub fn ledger(&self) -> &RoundLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the ledger (for phase labeling).
+    pub fn ledger_mut(&mut self) -> &mut RoundLedger {
+        &mut self.ledger
+    }
+
+    /// Consumes the engine, returning the final ledger.
+    pub fn into_ledger(self) -> RoundLedger {
+        self.ledger
+    }
+
+    /// Opens the next synchronous round for messages of type `M`.
+    pub fn begin_round<M>(&mut self) -> CongestRound<'_, 'g, M> {
+        CongestRound {
+            engine: self,
+            outbox: Vec::new(),
+            edge_bits: HashMap::new(),
+        }
+    }
+
+    /// Advances the clock by one round with no messages.
+    pub fn idle_round(&mut self) {
+        self.ledger.charge_round();
+    }
+}
+
+/// One open round on a [`CongestEngine`].
+#[derive(Debug)]
+pub struct CongestRound<'a, 'g, M> {
+    engine: &'a mut CongestEngine<'g>,
+    outbox: Vec<(NodeId, NodeId, M)>,
+    edge_bits: HashMap<(u32, u32), u64>,
+}
+
+impl<'a, 'g, M: Clone> CongestRound<'a, 'g, M> {
+    /// Enqueues the same message to every neighbor of `src` (a local
+    /// broadcast, the common pattern in CONGEST algorithms).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CongestRound::send`].
+    pub fn broadcast(&mut self, src: NodeId, bits: u64, msg: M) -> Result<(), BandwidthError> {
+        let neighbors: Vec<NodeId> = self.engine.graph.neighbors(src).to_vec();
+        for dst in neighbors {
+            self.send(src, dst, bits, msg.clone())?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a, 'g, M> CongestRound<'a, 'g, M> {
+    /// Enqueues a message of `bits` encoded bits from `src` to its neighbor
+    /// `dst`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BandwidthError::InvalidLink`] if `{src, dst}` is not an edge.
+    /// * [`BandwidthError::Exceeded`] (strict mode) if the directed edge's
+    ///   cumulative bits this round would exceed the budget.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, bits: u64, msg: M) -> Result<(), BandwidthError> {
+        let g = self.engine.graph;
+        let n = g.node_count();
+        if src.index() >= n || dst.index() >= n || !g.has_edge(src, dst) {
+            return Err(BandwidthError::InvalidLink {
+                src: src.raw(),
+                dst: dst.raw(),
+            });
+        }
+        let used = self.edge_bits.entry((src.raw(), dst.raw())).or_insert(0);
+        let attempted = *used + bits;
+        if attempted > self.engine.bandwidth {
+            match self.engine.enforcement {
+                Enforcement::Strict => {
+                    return Err(BandwidthError::Exceeded {
+                        src: src.raw(),
+                        dst: dst.raw(),
+                        attempted,
+                        budget: self.engine.bandwidth,
+                    });
+                }
+                Enforcement::Audit => self.engine.ledger.charge_violation(),
+            }
+        }
+        *used = attempted;
+        self.engine.ledger.charge_message(bits);
+        self.outbox.push((src, dst, msg));
+        Ok(())
+    }
+
+    /// Closes the round: advances the clock and returns per-node inboxes,
+    /// each sorted by sender.
+    pub fn deliver(self) -> Vec<Vec<(NodeId, M)>> {
+        let mut inboxes: Vec<Vec<(NodeId, M)>> =
+            (0..self.engine.graph.node_count()).map(|_| Vec::new()).collect();
+        for (src, dst, msg) in self.outbox {
+            inboxes[dst.index()].push((src, msg));
+        }
+        for inbox in &mut inboxes {
+            inbox.sort_by_key(|(src, _)| *src);
+        }
+        self.engine.ledger.charge_round();
+        inboxes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_mis_graph::generators;
+
+    #[test]
+    fn only_edges_carry_messages() {
+        let g = generators::cycle(4);
+        let mut e = CongestEngine::strict(&g, 32);
+        let mut r = e.begin_round::<u8>();
+        r.send(NodeId::new(0), NodeId::new(1), 8, 1).unwrap();
+        r.send(NodeId::new(0), NodeId::new(3), 8, 2).unwrap();
+        assert!(matches!(
+            r.send(NodeId::new(0), NodeId::new(2), 8, 3),
+            Err(BandwidthError::InvalidLink { .. })
+        ));
+        let inboxes = r.deliver();
+        assert_eq!(inboxes[1].len(), 1);
+        assert_eq!(inboxes[3].len(), 1);
+        assert!(inboxes[2].is_empty());
+    }
+
+    #[test]
+    fn broadcast_reaches_all_neighbors() {
+        let g = generators::star(5);
+        let mut e = CongestEngine::strict(&g, 32);
+        let mut r = e.begin_round::<&str>();
+        r.broadcast(NodeId::new(0), 8, "ping").unwrap();
+        let inboxes = r.deliver();
+        for inbox in inboxes.iter().skip(1) {
+            assert_eq!(inbox, &vec![(NodeId::new(0), "ping")]);
+        }
+        assert_eq!(e.ledger().messages, 4);
+    }
+
+    #[test]
+    fn per_direction_budget() {
+        let g = generators::path(2);
+        let mut e = CongestEngine::strict(&g, 16);
+        let mut r = e.begin_round::<()>();
+        r.send(NodeId::new(0), NodeId::new(1), 16, ()).unwrap();
+        // Forward direction exhausted, reverse still open.
+        assert!(r.send(NodeId::new(0), NodeId::new(1), 1, ()).is_err());
+        r.send(NodeId::new(1), NodeId::new(0), 16, ()).unwrap();
+    }
+
+    #[test]
+    fn audit_mode_allows_overflow() {
+        let g = generators::path(2);
+        let mut e = CongestEngine::audit(&g, 8);
+        let mut r = e.begin_round::<()>();
+        r.send(NodeId::new(0), NodeId::new(1), 100, ()).unwrap();
+        r.deliver();
+        assert_eq!(e.ledger().violations, 1);
+    }
+
+    #[test]
+    fn rounds_accumulate() {
+        let g = generators::path(3);
+        let mut e = CongestEngine::strict(&g, 32);
+        for _ in 0..5 {
+            let r = e.begin_round::<()>();
+            r.deliver();
+        }
+        e.idle_round();
+        assert_eq!(e.ledger().rounds, 6);
+    }
+}

@@ -1,0 +1,166 @@
+//! Addressable per-node randomness streams.
+//!
+//! §2.4 of the paper "disentangles the randomness from the simulation": each
+//! node `v` is imagined to draw a value `r_t(v) ∈ [0, 1]` for every round `t`
+//! up front, and the beep decision is the deterministic comparison
+//! `r_t(v) ≤ p_t(v)`. Anyone who knows `v`'s draws can then replay `v`'s
+//! behavior (Lemma 2.13). We realize this with a stateless counter-based
+//! generator: `r_t(v) = f(seed, v, t)`, so the coin is *addressable* — the
+//! direct beeping execution, the locally-replayed simulation, and any test
+//! all read the same bit-identical value.
+
+use cc_mis_graph::rng::{mix3, to_unit_f64, unit_f64};
+use cc_mis_graph::NodeId;
+
+/// Stream tags: distinct algorithms draw from non-overlapping streams so
+/// that, e.g., Luby's priorities never alias the beeping coins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Stream {
+    /// Beep/marking coins (`r_t(v)` in the paper).
+    Beep,
+    /// Luby-style random priorities.
+    Priority,
+    /// Membership sampling (e.g., ruling-set subsampling).
+    Sample,
+    /// Tie-breaking and leader election.
+    Aux,
+}
+
+impl Stream {
+    fn tag(self) -> u64 {
+        match self {
+            Stream::Beep => 0x8000_0000_0000_0001,
+            Stream::Priority => 0x8000_0000_0000_0002,
+            Stream::Sample => 0x8000_0000_0000_0003,
+            Stream::Aux => 0x8000_0000_0000_0004,
+        }
+    }
+}
+
+/// A seed shared by every party of an execution, providing addressable
+/// `(node, round)` coins.
+///
+/// Cloning is free; all methods are pure functions of
+/// `(seed, stream, node, round)`.
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_sim::rng::{SharedRandomness, Stream};
+/// use cc_mis_graph::NodeId;
+///
+/// let r = SharedRandomness::new(42);
+/// let v = NodeId::new(7);
+/// // The same address always yields the same coin:
+/// assert_eq!(r.coin(Stream::Beep, v, 3), r.coin(Stream::Beep, v, 3));
+/// // Different streams are decorrelated:
+/// assert_ne!(r.coin(Stream::Beep, v, 3), r.coin(Stream::Priority, v, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedRandomness {
+    seed: u64,
+}
+
+impl SharedRandomness {
+    /// Creates the randomness source for an execution.
+    pub const fn new(seed: u64) -> Self {
+        SharedRandomness { seed }
+    }
+
+    /// The seed this source was created with.
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The uniform `[0, 1)` coin of `node` for `round` on `stream` —
+    /// the paper's `r_t(v)`.
+    #[inline]
+    pub fn coin(&self, stream: Stream, node: NodeId, round: u64) -> f64 {
+        unit_f64(self.seed ^ stream.tag(), node.raw() as u64, round)
+    }
+
+    /// 64 uniform bits addressed by `(stream, node, round)`.
+    #[inline]
+    pub fn bits(&self, stream: Stream, node: NodeId, round: u64) -> u64 {
+        mix3(self.seed ^ stream.tag(), node.raw() as u64, round)
+    }
+
+    /// A uniform `[0, 1)` value with an extra sub-address, for algorithms
+    /// that need several coins per `(node, round)`.
+    #[inline]
+    pub fn coin_sub(&self, stream: Stream, node: NodeId, round: u64, sub: u64) -> f64 {
+        to_unit_f64(mix3(
+            self.seed ^ stream.tag() ^ sub.wrapping_mul(0xD134_2543_DE82_EF95),
+            node.raw() as u64,
+            round,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coins_are_deterministic_and_addressable() {
+        let a = SharedRandomness::new(7);
+        let b = SharedRandomness::new(7);
+        for round in 0..10 {
+            for node in 0..10u32 {
+                let v = NodeId::new(node);
+                assert_eq!(a.coin(Stream::Beep, v, round), b.coin(Stream::Beep, v, round));
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = SharedRandomness::new(1);
+        let b = SharedRandomness::new(2);
+        let v = NodeId::new(0);
+        assert_ne!(a.coin(Stream::Beep, v, 0), b.coin(Stream::Beep, v, 0));
+    }
+
+    #[test]
+    fn streams_decorrelate() {
+        let r = SharedRandomness::new(3);
+        let v = NodeId::new(5);
+        let all = [Stream::Beep, Stream::Priority, Stream::Sample, Stream::Aux];
+        for (i, &s1) in all.iter().enumerate() {
+            for &s2 in &all[i + 1..] {
+                assert_ne!(r.coin(s1, v, 1), r.coin(s2, v, 1), "{s1:?} vs {s2:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn coins_lie_in_unit_interval_and_look_uniform() {
+        let r = SharedRandomness::new(99);
+        let mut sum = 0.0;
+        let n = 10_000;
+        for i in 0..n {
+            let c = r.coin(Stream::Beep, NodeId::new(i % 100), (i / 100) as u64);
+            assert!((0.0..1.0).contains(&c));
+            sum += c;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn sub_addresses_decorrelate() {
+        let r = SharedRandomness::new(4);
+        let v = NodeId::new(2);
+        assert_ne!(
+            r.coin_sub(Stream::Aux, v, 0, 0),
+            r.coin_sub(Stream::Aux, v, 0, 1)
+        );
+    }
+
+    #[test]
+    fn randomness_is_copy_and_cheap() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<SharedRandomness>();
+    }
+}

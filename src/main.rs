@@ -1,0 +1,343 @@
+//! `clique-mis` — command-line front end for the library.
+//!
+//! ```text
+//! clique-mis run    --algorithm thm11 --family gnp --n 1000 --avg-deg 16 --seed 7
+//! clique-mis run    --algorithm luby  --input graph.edges --json
+//! clique-mis reduce --kind matching --family grid --n 400
+//! clique-mis ruling --k 2 --family gnp --n 500 --avg-deg 8
+//! clique-mis query  --node 17 --family regular --n 10000 --avg-deg 4
+//! clique-mis gen    --family ba --n 300 --avg-deg 6 --format dimacs > g.dimacs
+//! ```
+//!
+//! Every MIS-producing command verifies its output before printing.
+
+use std::process::ExitCode;
+
+use clique_mis::algorithms::beeping_mis::{run_beeping_to_completion, BeepingParams};
+use clique_mis::algorithms::clique_mis::{run_clique_mis_outcome, CliqueMisParams};
+use clique_mis::algorithms::ghaffari16::{run_ghaffari16, run_ghaffari16_clique, Ghaffari16Params};
+use clique_mis::algorithms::greedy::greedy_mis;
+use clique_mis::algorithms::lca::{MisAnswer, MisOracle};
+use clique_mis::algorithms::lowdeg::{run_lowdeg, run_theorem_1_1, LowDegParams};
+use clique_mis::algorithms::luby::{run_luby, LubyParams};
+use clique_mis::algorithms::reductions::{
+    coloring_via_mis, edge_coloring_via_mis, maximal_matching_via_mis,
+};
+use clique_mis::algorithms::ruling_set::k_ruling_set_via_mis;
+use clique_mis::algorithms::sparsified::{run_sparsified_with_cleanup, SparsifiedParams};
+use clique_mis::algorithms::MisOutcome;
+use clique_mis::graph::{checks, generators, io as graph_io, Graph, NodeId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  clique-mis run    --algorithm <greedy|luby|ghaffari16|g16-clique|beeping|sparsified|thm11|lowdeg|auto> <graph> [--seed S] [--json]
+  clique-mis reduce --kind <matching|vertex-coloring|edge-coloring> <graph> [--seed S]
+  clique-mis ruling --k <K> <graph> [--seed S]
+  clique-mis query  --node <V> <graph> [--seed S]
+  clique-mis gen    <graph> [--format <edges|dimacs>]
+
+graph source (one of):
+  --family <gnp|regular|ba|grid|cycle|star|cliques|geometric|smallworld> --n <N> [--avg-deg <D>] [--seed S]
+  --input <path>   (edge list: 'n <count>' header then 'u v' lines; or DIMACS if named *.dimacs/*.col)";
+
+/// Simple flag parser: `--key value` pairs after a subcommand.
+struct Options {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument '{}'", args[i]))?;
+            if key == "json" {
+                flags.push(key.to_string());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                pairs.push((key.to_string(), value.clone()));
+                i += 2;
+            }
+        }
+        Ok(Options { pairs, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    let opts = Options::parse(rest)?;
+    match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "reduce" => cmd_reduce(&opts),
+        "ruling" => cmd_ruling(&opts),
+        "query" => cmd_query(&opts),
+        "gen" => cmd_gen(&opts),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn load_graph(opts: &Options) -> Result<Graph, String> {
+    if let Some(path) = opts.get("input") {
+        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let g = if path.ends_with(".dimacs") || path.ends_with(".col") {
+            graph_io::read_dimacs(file).map_err(|e| e.to_string())?
+        } else {
+            graph_io::read_edge_list(file).map_err(|e| e.to_string())?
+        };
+        return Ok(g);
+    }
+    let family = opts.get("family").ok_or("need --family or --input")?;
+    let n: usize = opts
+        .get_parsed("n")?
+        .ok_or("need --n with --family")?;
+    let seed: u64 = opts.get_parsed("seed")?.unwrap_or(1);
+    let avg: f64 = opts.get_parsed("avg-deg")?.unwrap_or(8.0);
+    let g = match family {
+        "gnp" => generators::erdos_renyi_gnp(n, (avg / (n.max(2) - 1) as f64).min(1.0), seed),
+        "regular" => {
+            let mut d = (avg.round() as usize).min(n.saturating_sub(1));
+            if n * d % 2 == 1 {
+                d = d.saturating_sub(1);
+            }
+            generators::random_regular(n, d, seed)
+        }
+        "ba" => generators::barabasi_albert(n, (avg / 2.0).round().max(1.0) as usize, seed),
+        "grid" => {
+            let side = (n as f64).sqrt().round().max(1.0) as usize;
+            generators::grid(side, side)
+        }
+        "cycle" => generators::cycle(n),
+        "star" => generators::star(n),
+        "cliques" => generators::disjoint_cliques(n / (avg.round() as usize + 1).max(2), (avg.round() as usize + 1).max(2)),
+        "geometric" => {
+            // radius for expected degree ≈ avg: π r² n = avg
+            let r = (avg / (std::f64::consts::PI * n as f64)).sqrt();
+            generators::random_geometric(n, r, seed)
+        }
+        "smallworld" => {
+            let k = ((avg.round() as usize) / 2 * 2).max(2).min(n.saturating_sub(1) / 2 * 2);
+            generators::watts_strogatz(n, k, 0.1, seed)
+        }
+        other => return Err(format!("unknown family '{other}'")),
+    };
+    Ok(g)
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let seed: u64 = opts.get_parsed("seed")?.unwrap_or(1);
+    let algorithm = opts.get("algorithm").unwrap_or("auto");
+    let (outcome, label): (MisOutcome, String) = match algorithm {
+        "greedy" => (
+            MisOutcome {
+                mis: greedy_mis(&g),
+                ledger: Default::default(),
+                iterations: 0,
+            },
+            "greedy (sequential)".into(),
+        ),
+        "luby" => (
+            run_luby(&g, &LubyParams::for_graph(&g), seed),
+            "luby (CONGEST)".into(),
+        ),
+        "ghaffari16" => (
+            run_ghaffari16(&g, &Ghaffari16Params::for_graph(&g), seed),
+            "ghaffari16 (CONGEST)".into(),
+        ),
+        "g16-clique" => (
+            run_ghaffari16_clique(&g, &Ghaffari16Params::for_graph(&g), seed),
+            "ghaffari16 (congested clique)".into(),
+        ),
+        "beeping" => (
+            run_beeping_to_completion(&g, &BeepingParams::for_graph(&g), seed),
+            "beeping MIS (§2.2)".into(),
+        ),
+        "sparsified" => (
+            run_sparsified_with_cleanup(&g, &SparsifiedParams::for_graph(&g), seed),
+            "sparsified beeping MIS (§2.3)".into(),
+        ),
+        "thm11" => (
+            run_clique_mis_outcome(&g, &CliqueMisParams::default(), seed),
+            "Theorem 1.1 (§2.4, congested clique)".into(),
+        ),
+        "lowdeg" => {
+            let r = run_lowdeg(&g, &LowDegParams::default(), seed);
+            (
+                MisOutcome {
+                    mis: r.mis,
+                    ledger: r.ledger,
+                    iterations: r.iterations,
+                },
+                "low-degree fast path (§2.5)".into(),
+            )
+        }
+        "auto" => {
+            let (o, s) = run_theorem_1_1(&g, seed);
+            (o, format!("Theorem 1.1 dispatcher [{s:?}]"))
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    if !checks::is_maximal_independent_set(&g, &outcome.mis) {
+        return Err("internal error: output failed MIS verification".into());
+    }
+    if opts.has_flag("json") {
+        let members: Vec<u32> = outcome.mis.iter().map(|v| v.raw()).collect();
+        println!(
+            "{{\"algorithm\":{label:?},\"n\":{},\"m\":{},\"max_degree\":{},\"mis_size\":{},\"rounds\":{},\"messages\":{},\"bits\":{},\"iterations\":{},\"verified\":true,\"mis\":{members:?}}}",
+            g.node_count(),
+            g.edge_count(),
+            g.max_degree(),
+            outcome.mis.len(),
+            outcome.ledger.rounds,
+            outcome.ledger.messages,
+            outcome.ledger.bits,
+            outcome.iterations,
+        );
+    } else {
+        println!(
+            "graph: {} nodes, {} edges, Δ = {}",
+            g.node_count(),
+            g.edge_count(),
+            g.max_degree()
+        );
+        println!("algorithm: {label}");
+        println!(
+            "MIS: {} nodes (verified maximal independent)",
+            outcome.mis.len()
+        );
+        println!(
+            "cost: {} rounds, {} messages, {} bits, {} iterations",
+            outcome.ledger.rounds, outcome.ledger.messages, outcome.ledger.bits, outcome.iterations
+        );
+    }
+    Ok(())
+}
+
+fn cmd_reduce(opts: &Options) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let seed: u64 = opts.get_parsed("seed")?.unwrap_or(1);
+    let kind = opts.get("kind").ok_or("need --kind")?;
+    let mis_fn = |h: &Graph| run_clique_mis_outcome(h, &CliqueMisParams::default(), seed).mis;
+    match kind {
+        "matching" => {
+            let m = maximal_matching_via_mis(&g, mis_fn);
+            if !checks::is_maximal_matching(&g, &m) {
+                return Err("internal error: matching failed verification".into());
+            }
+            println!("maximal matching: {} edges (of {})", m.len(), g.edge_count());
+        }
+        "vertex-coloring" => {
+            let palette = g.max_degree() + 1;
+            let colors = coloring_via_mis(&g, palette, mis_fn).map_err(|e| e.to_string())?;
+            if !checks::is_proper_coloring(&g, &colors, palette) {
+                return Err("internal error: coloring failed verification".into());
+            }
+            println!("(Δ+1)-coloring with palette {palette}: verified proper");
+        }
+        "edge-coloring" => {
+            let colored = edge_coloring_via_mis(&g, mis_fn);
+            let palette = (2 * g.max_degree()).saturating_sub(1).max(1);
+            println!(
+                "(2Δ-1)-edge-coloring with palette {palette}: {} edges colored",
+                colored.len()
+            );
+        }
+        other => return Err(format!("unknown reduction '{other}'")),
+    }
+    Ok(())
+}
+
+fn cmd_ruling(opts: &Options) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let seed: u64 = opts.get_parsed("seed")?.unwrap_or(1);
+    let k: usize = opts.get_parsed("k")?.unwrap_or(2);
+    let set = k_ruling_set_via_mis(&g, k, |h| {
+        run_clique_mis_outcome(h, &CliqueMisParams::default(), seed).mis
+    });
+    if !checks::is_k_ruling_set(&g, &set, k) {
+        return Err("internal error: ruling set failed verification".into());
+    }
+    println!(
+        "{k}-ruling set: {} nodes (every vertex within distance {k})",
+        set.len()
+    );
+    Ok(())
+}
+
+fn cmd_query(opts: &Options) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let seed: u64 = opts.get_parsed("seed")?.unwrap_or(1);
+    let node: u32 = opts
+        .get_parsed("node")?
+        .ok_or("need --node")?;
+    if node as usize >= g.node_count() {
+        return Err(format!("node {node} out of range (n = {})", g.node_count()));
+    }
+    let oracle = MisOracle::new(&g, seed);
+    let (answer, stats) = oracle.query(NodeId::new(node));
+    println!(
+        "node v{node}: {}",
+        match answer {
+            MisAnswer::InMis => "IN the MIS",
+            MisAnswer::Dominated => "dominated (an MIS neighbor exists)",
+        }
+    );
+    println!(
+        "query cost: {} probes, ball of {} nodes / {} edges, radius {}, {} attempt(s)",
+        stats.probes, stats.ball_nodes, stats.ball_edges, stats.radius, stats.attempts
+    );
+    Ok(())
+}
+
+fn cmd_gen(opts: &Options) -> Result<(), String> {
+    let g = load_graph(opts)?;
+    let format = opts.get("format").unwrap_or("edges");
+    let stdout = std::io::stdout();
+    let lock = stdout.lock();
+    match format {
+        "edges" => graph_io::write_edge_list(&g, lock).map_err(|e| e.to_string())?,
+        "dimacs" => graph_io::write_dimacs(&g, lock).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown format '{other}'")),
+    }
+    Ok(())
+}

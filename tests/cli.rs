@@ -1,0 +1,104 @@
+//! End-to-end tests of the `clique-mis` CLI binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_clique-mis"))
+}
+
+#[test]
+fn run_reports_a_verified_mis() {
+    let out = cli()
+        .args([
+            "run", "--algorithm", "thm11", "--family", "gnp", "--n", "200", "--avg-deg", "10",
+            "--seed", "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verified maximal independent"), "{text}");
+    assert!(text.contains("rounds"));
+}
+
+#[test]
+fn run_json_is_parseable_shape() {
+    let out = cli()
+        .args([
+            "run", "--algorithm", "luby", "--family", "cycle", "--n", "30", "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.trim_start().starts_with('{'), "{text}");
+    assert!(text.contains("\"verified\":true"));
+    assert!(text.contains("\"mis_size\""));
+}
+
+#[test]
+fn gen_then_run_roundtrips_through_a_file() {
+    let dir = std::env::temp_dir().join(format!("clique-mis-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.edges");
+
+    let out = cli()
+        .args(["gen", "--family", "grid", "--n", "64", "--format", "edges"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    std::fs::write(&path, &out.stdout).unwrap();
+
+    let out = cli()
+        .args(["run", "--algorithm", "greedy", "--input", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("64 nodes"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_answers_consistently() {
+    let out = cli()
+        .args([
+            "query", "--node", "5", "--family", "cycle", "--n", "100", "--seed", "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("node v5:"));
+    assert!(text.contains("probes"));
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let out = cli().args(["run", "--algorithm", "nonsense", "--family", "cycle", "--n", "10"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown algorithm"));
+    assert!(err.contains("usage:"));
+
+    let out = cli().args(["frobnicate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn reduce_and_ruling_verify() {
+    let out = cli()
+        .args(["reduce", "--kind", "matching", "--family", "cycle", "--n", "40"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("maximal matching"));
+
+    let out = cli()
+        .args(["ruling", "--k", "2", "--family", "gnp", "--n", "80", "--avg-deg", "6"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("2-ruling set"));
+}

@@ -1,0 +1,136 @@
+//! Cross-crate end-to-end tests: every algorithm in the library, on every
+//! graph family, produces a verified maximal independent set (and the
+//! derived artifacts — matchings, colorings, ruling sets — verify too).
+
+use clique_mis::algorithms::beeping_mis::{run_beeping_to_completion, BeepingParams};
+use clique_mis::algorithms::clique_mis::{run_clique_mis, CliqueMisParams};
+use clique_mis::algorithms::ghaffari16::{
+    run_ghaffari16, run_ghaffari16_clique, Ghaffari16Params,
+};
+use clique_mis::algorithms::greedy::greedy_mis;
+use clique_mis::algorithms::lowdeg::{run_lowdeg, run_theorem_1_1, LowDegParams, Strategy};
+use clique_mis::algorithms::luby::{run_luby, LubyParams};
+use clique_mis::algorithms::reductions::{coloring_via_mis, maximal_matching_via_mis};
+use clique_mis::algorithms::ruling_set::two_ruling_set;
+use clique_mis::algorithms::sparsified::{run_sparsified_with_cleanup, SparsifiedParams};
+use clique_mis::graph::{checks, generators, Graph};
+
+fn families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("empty", Graph::empty(12)),
+        ("single", Graph::empty(1)),
+        ("cycle", generators::cycle(25)),
+        ("path", generators::path(17)),
+        ("complete", generators::complete(14)),
+        ("star", generators::star(30)),
+        ("grid", generators::grid(5, 6)),
+        ("bipartite", generators::complete_bipartite(6, 9)),
+        ("tree", generators::balanced_tree(3, 3)),
+        ("caterpillar", generators::caterpillar(6, 3)),
+        ("cliques", generators::disjoint_cliques(4, 5)),
+        ("gnp-sparse", generators::erdos_renyi_gnp(90, 0.03, 1)),
+        ("gnp-dense", generators::erdos_renyi_gnp(60, 0.3, 2)),
+        ("regular", generators::random_regular(48, 5, 3)),
+        ("ba", generators::barabasi_albert(70, 3, 4)),
+        ("power-law", generators::chung_lu_power_law(80, 2.4, 6.0, 5)),
+        ("planted", generators::planted_independent_set(60, 0.15, 15, 6)),
+    ]
+}
+
+#[test]
+fn every_algorithm_finds_a_verified_mis_on_every_family() {
+    for (name, g) in families() {
+        for seed in 0..2u64 {
+            let outputs: Vec<(&str, Vec<clique_mis::graph::NodeId>)> = vec![
+                ("greedy", greedy_mis(&g)),
+                ("luby", run_luby(&g, &LubyParams::for_graph(&g), seed).mis),
+                (
+                    "ghaffari16",
+                    run_ghaffari16(&g, &Ghaffari16Params::for_graph(&g), seed).mis,
+                ),
+                (
+                    "ghaffari16-clique",
+                    run_ghaffari16_clique(&g, &Ghaffari16Params::for_graph(&g), seed).mis,
+                ),
+                (
+                    "beeping",
+                    run_beeping_to_completion(&g, &BeepingParams::for_graph(&g), seed).mis,
+                ),
+                (
+                    "sparsified",
+                    run_sparsified_with_cleanup(&g, &SparsifiedParams::for_graph(&g), seed).mis,
+                ),
+                (
+                    "clique-mis",
+                    run_clique_mis(&g, &CliqueMisParams::default(), seed).mis,
+                ),
+                ("lowdeg", run_lowdeg(&g, &LowDegParams::default(), seed).mis),
+            ];
+            for (alg, mis) in outputs {
+                assert!(
+                    checks::is_maximal_independent_set(&g, &mis),
+                    "{alg} on {name} (seed {seed}) returned an invalid MIS"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_1_1_dispatcher_is_correct_on_both_branches() {
+    let sparse = generators::random_regular(200, 3, 9);
+    let (out, strat) = run_theorem_1_1(&sparse, 1);
+    assert_eq!(strat, Strategy::LowDegree);
+    assert!(checks::is_maximal_independent_set(&sparse, &out.mis));
+
+    let dense = generators::erdos_renyi_gnp(200, 0.25, 9);
+    let (out, strat) = run_theorem_1_1(&dense, 1);
+    assert_eq!(strat, Strategy::Sparsified);
+    assert!(checks::is_maximal_independent_set(&dense, &out.mis));
+}
+
+#[test]
+fn reductions_verify_end_to_end_through_the_clique_algorithm() {
+    let g = generators::erdos_renyi_gnp(80, 0.06, 13);
+    let matching = maximal_matching_via_mis(&g, |lg| {
+        run_clique_mis(lg, &CliqueMisParams::default(), 3).mis
+    });
+    assert!(checks::is_maximal_matching(&g, &matching));
+
+    let palette = g.max_degree() + 1;
+    let colors = coloring_via_mis(&g, palette, |p| {
+        run_clique_mis(p, &CliqueMisParams::default(), 4).mis
+    })
+    .expect("Δ+1 palette succeeds");
+    assert!(checks::is_proper_coloring(&g, &colors, palette));
+}
+
+#[test]
+fn ruling_set_end_to_end() {
+    for (name, g) in [
+        ("gnp", generators::erdos_renyi_gnp(100, 0.05, 21)),
+        ("grid", generators::grid(8, 8)),
+    ] {
+        let out = two_ruling_set(&g, 2);
+        assert!(
+            checks::is_k_ruling_set(&g, &out.set, 2),
+            "invalid 2-ruling set on {name}"
+        );
+        assert!(out.rounds > 0);
+    }
+}
+
+#[test]
+fn mis_size_is_within_sane_bounds() {
+    // An MIS of G(n, p) with p = c/n has size Θ(n); cross-check the
+    // randomized algorithms against greedy within a loose factor.
+    let g = generators::erdos_renyi_gnp(300, 12.0 / 300.0, 8);
+    let baseline = greedy_mis(&g).len() as f64;
+    for seed in 0..3 {
+        let size = run_clique_mis(&g, &CliqueMisParams::default(), seed).mis.len() as f64;
+        assert!(
+            size > baseline * 0.6 && size < baseline * 1.6,
+            "clique MIS size {size} vs greedy {baseline}"
+        );
+    }
+}

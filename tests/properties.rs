@@ -1,0 +1,108 @@
+//! Property-based tests across the whole stack: for *arbitrary* random
+//! graphs (structure and seed chosen by proptest), every algorithm's
+//! output satisfies its specification.
+
+use clique_mis::algorithms::beeping_mis::{run_beeping_to_completion, BeepingParams};
+use clique_mis::algorithms::clique_mis::{run_clique_mis, CliqueMisParams};
+use clique_mis::algorithms::greedy::greedy_mis;
+use clique_mis::algorithms::luby::{run_luby, LubyParams};
+use clique_mis::algorithms::reductions::{coloring_via_mis, maximal_matching_via_mis};
+use clique_mis::algorithms::sparsified::{run_sparsified, SparsifiedParams};
+use clique_mis::graph::{checks, generators, Graph};
+use proptest::prelude::*;
+
+/// An arbitrary graph: G(n, p) with proptest-chosen n, edge density, seed.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..80, 0.0f64..0.4, 0u64..1000)
+        .prop_map(|(n, p, seed)| generators::erdos_renyi_gnp(n, p, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn greedy_always_returns_mis(g in arb_graph()) {
+        let mis = greedy_mis(&g);
+        prop_assert!(checks::is_maximal_independent_set(&g, &mis));
+    }
+
+    #[test]
+    fn luby_always_returns_mis((g, seed) in (arb_graph(), 0u64..100)) {
+        let out = run_luby(&g, &LubyParams::for_graph(&g), seed);
+        prop_assert!(checks::is_maximal_independent_set(&g, &out.mis));
+    }
+
+    #[test]
+    fn beeping_always_returns_mis((g, seed) in (arb_graph(), 0u64..100)) {
+        let out = run_beeping_to_completion(&g, &BeepingParams::for_graph(&g), seed);
+        prop_assert!(checks::is_maximal_independent_set(&g, &out.mis));
+    }
+
+    #[test]
+    fn clique_mis_always_returns_mis((g, seed) in (arb_graph(), 0u64..100)) {
+        let out = run_clique_mis(&g, &CliqueMisParams::default(), seed);
+        prop_assert!(checks::is_maximal_independent_set(&g, &out.mis));
+    }
+
+    #[test]
+    fn sparsified_partial_output_is_independent_and_dominating_where_decided(
+        (g, seed) in (arb_graph(), 0u64..100)
+    ) {
+        let run = run_sparsified(&g, &SparsifiedParams::for_graph(&g), seed);
+        prop_assert!(checks::is_independent_set(&g, &run.mis));
+        // Every removed non-joiner has an MIS neighbor.
+        for i in 0..g.node_count() {
+            if run.removed_at[i].is_some() && run.joined_at[i].is_none() {
+                let v = clique_mis::graph::NodeId::new(i as u32);
+                prop_assert!(
+                    g.neighbors(v).iter().any(|u| run.joined_at[u.index()].is_some())
+                );
+            }
+        }
+        // Residual nodes have no MIS neighbor (else they would be removed).
+        for &v in &run.residual {
+            prop_assert!(
+                g.neighbors(v).iter().all(|u| run.joined_at[u.index()].is_none())
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_equivalence_holds_generically(
+        (g, seed, p) in (arb_graph(), 0u64..50, 1usize..4)
+    ) {
+        let params = SparsifiedParams {
+            phase_len: p,
+            super_heavy_log2: (2 * p) as u32,
+            max_iterations: 8,
+            record_trace: false,
+        };
+        let direct = run_sparsified(&g, &params, seed);
+        let sim = run_clique_mis(
+            &g,
+            &CliqueMisParams { sparsified: Some(params), skip_cleanup: true },
+            seed,
+        );
+        prop_assert_eq!(direct.joined_at, sim.joined_at);
+        prop_assert_eq!(direct.removed_at, sim.removed_at);
+    }
+
+    #[test]
+    fn matching_reduction_is_always_maximal(g in arb_graph()) {
+        let m = maximal_matching_via_mis(&g, greedy_mis);
+        prop_assert!(checks::is_maximal_matching(&g, &m));
+    }
+
+    #[test]
+    fn coloring_reduction_is_always_proper(g in arb_graph()) {
+        let palette = g.max_degree() + 1;
+        let colors = coloring_via_mis(&g, palette, greedy_mis).unwrap();
+        prop_assert!(checks::is_proper_coloring(&g, &colors, palette));
+    }
+
+    #[test]
+    fn mis_implies_one_ruling_set(g in arb_graph()) {
+        let mis = greedy_mis(&g);
+        prop_assert!(checks::is_k_ruling_set(&g, &mis, 1));
+    }
+}
