@@ -4,12 +4,11 @@
 //! aggregates; this module provides the tiny harness that makes that
 //! uniform across the E1–E11/A1 binaries.
 
-use serde::{Deserialize, Serialize};
 
 use crate::stats::Summary;
 
 /// A single measured trial.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Trial {
     /// The seed the trial ran with.
     pub seed: u64,

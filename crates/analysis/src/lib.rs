@@ -10,10 +10,13 @@
 //!   checking growth *shapes* like `rounds ∝ log Δ` vs `∝ √(log Δ)`).
 //! * [`table`] — plain-text and CSV table rendering.
 //! * [`experiment`] — seeded multi-trial runners and sweep helpers.
+//! * [`json`] — a dependency-free JSON writer (the workspace builds with
+//!   no registry access, so `serde_json` is deliberately absent).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;
+pub mod json;
 pub mod stats;
 pub mod table;

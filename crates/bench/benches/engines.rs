@@ -1,62 +1,49 @@
 //! Microbenchmarks of the simulator engines: per-round overhead of the
 //! clique, CONGEST, and beeping engines.
 
+use cc_mis_bench::harness::Harness;
 use cc_mis_graph::{generators, NodeId};
 use cc_mis_sim::beeping::BeepingEngine;
 use cc_mis_sim::clique::CliqueEngine;
 use cc_mis_sim::congest::CongestEngine;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_clique_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("clique_all_to_all_round");
+fn main() {
+    let mut h = Harness::new("clique_all_to_all_round");
     for n in [64usize, 256, 1024] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut e = CliqueEngine::strict(n, 64);
-                let mut r = e.begin_round::<u32>();
-                for i in 0..n as u32 {
-                    for j in 0..n as u32 {
-                        if i != j {
-                            r.send(NodeId::new(i), NodeId::new(j), 16, i ^ j).unwrap();
-                        }
+        h.bench(&format!("n{n}"), || {
+            let mut e = CliqueEngine::strict(n, 64);
+            let mut r = e.begin_round::<u32>();
+            for i in 0..n as u32 {
+                for j in 0..n as u32 {
+                    if i != j {
+                        r.send(NodeId::new(i), NodeId::new(j), 16, i ^ j).unwrap();
                     }
                 }
-                r.deliver()
-            })
+            }
+            r.deliver()
         });
     }
-    group.finish();
-}
+    h.finish();
 
-fn bench_congest_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("congest_broadcast_round");
+    let mut h = Harness::new("congest_broadcast_round");
     for n in [256usize, 1024, 4096] {
         let g = generators::erdos_renyi_gnp(n, 16.0 / n as f64, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut e = CongestEngine::strict(&g, 64);
-                let mut r = e.begin_round::<u32>();
-                for v in g.nodes() {
-                    r.broadcast(v, 16, v.raw()).unwrap();
-                }
-                r.deliver()
-            })
+        h.bench(&format!("n{n}"), || {
+            let mut e = CongestEngine::strict(&g, 64);
+            let mut r = e.begin_round::<u32>();
+            for v in g.nodes() {
+                r.broadcast(v, 16, v.raw()).unwrap();
+            }
+            r.deliver()
         });
     }
-    group.finish();
-}
+    h.finish();
 
-fn bench_beeping_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("beeping_round");
+    let mut h = Harness::new("beeping_round");
     for n in [1024usize, 8192] {
         let g = generators::erdos_renyi_gnp(n, 16.0 / n as f64, 4);
         let beeps: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| BeepingEngine::new(&g).round(&beeps))
-        });
+        h.bench(&format!("n{n}"), || BeepingEngine::new(&g).round(&beeps));
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_clique_round, bench_congest_round, bench_beeping_round);
-criterion_main!(benches);

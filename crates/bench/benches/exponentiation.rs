@@ -1,35 +1,27 @@
 //! Microbenchmarks of the Lemma 2.14 gathering primitive.
 
+use cc_mis_bench::harness::Harness;
 use cc_mis_core::exponentiation::gather_balls;
 use cc_mis_graph::generators;
 use cc_mis_sim::bits::standard_bandwidth;
 use cc_mis_sim::clique::CliqueEngine;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_gather(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gather_balls");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("gather_balls");
     for radius in [2usize, 4, 8] {
         let n = 512;
         let g = generators::random_regular(n, 4, 2);
-        group.bench_with_input(BenchmarkId::new("regular4_n512", radius), &radius, |b, &r| {
-            b.iter(|| {
-                let mut engine = CliqueEngine::strict(n, standard_bandwidth(n));
-                gather_balls(&mut engine, &g, &vec![true; n], r, 24)
-            })
+        h.bench(&format!("regular4_n512/r{radius}"), || {
+            let mut engine = CliqueEngine::strict(n, standard_bandwidth(n));
+            gather_balls(&mut engine, &g, &vec![true; n], radius, 24)
         });
     }
     for n in [256usize, 1024] {
         let g = generators::cycle(n);
-        group.bench_with_input(BenchmarkId::new("cycle_r8", n), &n, |b, _| {
-            b.iter(|| {
-                let mut engine = CliqueEngine::strict(n, standard_bandwidth(n));
-                gather_balls(&mut engine, &g, &vec![true; n], 8, 24)
-            })
+        h.bench(&format!("cycle_r8/n{n}"), || {
+            let mut engine = CliqueEngine::strict(n, standard_bandwidth(n));
+            gather_balls(&mut engine, &g, &vec![true; n], 8, 24)
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_gather);
-criterion_main!(benches);

@@ -1,34 +1,29 @@
 //! Microbenchmarks of the graph substrate: generators and structural ops.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cc_mis_bench::harness::Harness;
 use cc_mis_graph::{generators, ops};
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generators");
+fn main() {
+    let mut h = Harness::new("generators");
     for n in [256usize, 1024, 4096] {
-        group.bench_with_input(BenchmarkId::new("gnp_avg16", n), &n, |b, &n| {
-            let p = 16.0 / n as f64;
-            b.iter(|| generators::erdos_renyi_gnp(n, p, 1))
+        let p = 16.0 / n as f64;
+        h.bench(&format!("gnp_avg16/n{n}"), || {
+            generators::erdos_renyi_gnp(n, p, 1)
         });
-        group.bench_with_input(BenchmarkId::new("regular_d8", n), &n, |b, &n| {
-            b.iter(|| generators::random_regular(n, 8, 1))
+        h.bench(&format!("regular_d8/n{n}"), || {
+            generators::random_regular(n, 8, 1)
         });
-        group.bench_with_input(BenchmarkId::new("barabasi_albert_m4", n), &n, |b, &n| {
-            b.iter(|| generators::barabasi_albert(n, 4, 1))
+        h.bench(&format!("barabasi_albert_m4/n{n}"), || {
+            generators::barabasi_albert(n, 4, 1)
         });
     }
-    group.finish();
-}
+    h.finish();
 
-fn bench_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ops");
+    let mut h = Harness::new("ops");
     let g = generators::erdos_renyi_gnp(1024, 8.0 / 1024.0, 2);
-    group.bench_function("square_n1024", |b| b.iter(|| ops::square(&g)));
-    group.bench_function("power3_n1024", |b| b.iter(|| ops::power(&g, 3)));
-    group.bench_function("components_n1024", |b| b.iter(|| ops::connected_components(&g)));
-    group.bench_function("line_graph_n1024", |b| b.iter(|| ops::line_graph(&g)));
-    group.finish();
+    h.bench("square_n1024", || ops::square(&g));
+    h.bench("power3_n1024", || ops::power(&g, 3));
+    h.bench("components_n1024", || ops::connected_components(&g));
+    h.bench("line_graph_n1024", || ops::line_graph(&g));
+    h.finish();
 }
-
-criterion_group!(benches, bench_generators, bench_ops);
-criterion_main!(benches);

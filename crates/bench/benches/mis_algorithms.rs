@@ -2,6 +2,7 @@
 //! workload (complementing the round-count experiments, which measure the
 //! distributed cost rather than simulation time).
 
+use cc_mis_bench::harness::Harness;
 use cc_mis_core::beeping_mis::{run_beeping_to_completion, BeepingParams};
 use cc_mis_core::clique_mis::{run_clique_mis, CliqueMisParams};
 use cc_mis_core::ghaffari16::{run_ghaffari16, run_ghaffari16_clique, Ghaffari16Params};
@@ -10,41 +11,34 @@ use cc_mis_core::lowdeg::{run_lowdeg, LowDegParams};
 use cc_mis_core::luby::{run_luby, LubyParams};
 use cc_mis_core::sparsified::{run_sparsified_with_cleanup, SparsifiedParams};
 use cc_mis_graph::generators;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_all_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mis_algorithms");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("mis_algorithms");
     for n in [256usize, 1024] {
         let g = generators::erdos_renyi_gnp(n, 16.0 / n as f64, 5);
-        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
-            b.iter(|| greedy_mis(&g))
+        h.bench(&format!("greedy/n{n}"), || greedy_mis(&g));
+        h.bench(&format!("luby/n{n}"), || {
+            run_luby(&g, &LubyParams::for_graph(&g), 1)
         });
-        group.bench_with_input(BenchmarkId::new("luby", n), &n, |b, _| {
-            b.iter(|| run_luby(&g, &LubyParams::for_graph(&g), 1))
+        h.bench(&format!("ghaffari16/n{n}"), || {
+            run_ghaffari16(&g, &Ghaffari16Params::for_graph(&g), 1)
         });
-        group.bench_with_input(BenchmarkId::new("ghaffari16", n), &n, |b, _| {
-            b.iter(|| run_ghaffari16(&g, &Ghaffari16Params::for_graph(&g), 1))
+        h.bench(&format!("ghaffari16_clique/n{n}"), || {
+            run_ghaffari16_clique(&g, &Ghaffari16Params::for_graph(&g), 1)
         });
-        group.bench_with_input(BenchmarkId::new("ghaffari16_clique", n), &n, |b, _| {
-            b.iter(|| run_ghaffari16_clique(&g, &Ghaffari16Params::for_graph(&g), 1))
+        h.bench(&format!("beeping/n{n}"), || {
+            run_beeping_to_completion(&g, &BeepingParams::for_graph(&g), 1)
         });
-        group.bench_with_input(BenchmarkId::new("beeping", n), &n, |b, _| {
-            b.iter(|| run_beeping_to_completion(&g, &BeepingParams::for_graph(&g), 1))
+        h.bench(&format!("sparsified/n{n}"), || {
+            run_sparsified_with_cleanup(&g, &SparsifiedParams::for_graph(&g), 1)
         });
-        group.bench_with_input(BenchmarkId::new("sparsified", n), &n, |b, _| {
-            b.iter(|| run_sparsified_with_cleanup(&g, &SparsifiedParams::for_graph(&g), 1))
-        });
-        group.bench_with_input(BenchmarkId::new("clique_mis_thm11", n), &n, |b, _| {
-            b.iter(|| run_clique_mis(&g, &CliqueMisParams::default(), 1))
+        h.bench(&format!("clique_mis_thm11/n{n}"), || {
+            run_clique_mis(&g, &CliqueMisParams::default(), 1)
         });
     }
     let sparse = generators::random_regular(1024, 4, 6);
-    group.bench_function("lowdeg_regular4_n1024", |b| {
-        b.iter(|| run_lowdeg(&sparse, &LowDegParams::default(), 1))
+    h.bench("lowdeg_regular4_n1024", || {
+        run_lowdeg(&sparse, &LowDegParams::default(), 1)
     });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_all_algorithms);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Microbenchmarks of the Lenzen-routing scheduler.
 
+use cc_mis_bench::harness::Harness;
 use cc_mis_graph::NodeId;
 use cc_mis_sim::clique::CliqueEngine;
 use cc_mis_sim::routing::{route, Packet};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// The canonical Lenzen workload: every node sends ~n packets, spread.
 fn full_load(n: usize) -> Vec<Packet<u32>> {
@@ -37,25 +37,17 @@ fn hotspot_load(n: usize) -> Vec<Packet<u32>> {
     packets
 }
 
-fn bench_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lenzen_routing");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("lenzen_routing");
     for n in [64usize, 256] {
-        group.bench_with_input(BenchmarkId::new("full_load", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut e = CliqueEngine::strict(n, 64);
-                route(&mut e, full_load(n)).unwrap()
-            })
+        h.bench(&format!("full_load/n{n}"), || {
+            let mut e = CliqueEngine::strict(n, 64);
+            route(&mut e, full_load(n)).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("hotspot", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut e = CliqueEngine::strict(n, 64);
-                route(&mut e, hotspot_load(n)).unwrap()
-            })
+        h.bench(&format!("hotspot/n{n}"), || {
+            let mut e = CliqueEngine::strict(n, 64);
+            route(&mut e, hotspot_load(n)).unwrap()
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_routing);
-criterion_main!(benches);

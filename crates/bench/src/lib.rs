@@ -1,5 +1,6 @@
 //! Shared plumbing for the experiment binaries (`src/bin/e*.rs`,
-//! `src/bin/a1_ablation.rs`) and the Criterion benches.
+//! `src/bin/a1_ablation.rs`) and the wall-clock benches (which use the
+//! in-tree [`harness`] — the workspace carries no registry dependencies).
 //!
 //! Each binary regenerates one claim of the paper (see DESIGN.md §4 and
 //! EXPERIMENTS.md). This library provides the common workload definitions
@@ -9,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 
 use cc_mis_graph::{generators, Graph};
 

@@ -20,6 +20,7 @@
 
 use cc_mis_graph::{Graph, NodeId};
 use cc_mis_sim::beeping::BeepingEngine;
+use cc_mis_sim::par_nodes::par_map_nodes;
 use cc_mis_sim::rng::{SharedRandomness, Stream};
 use cc_mis_sim::RoundLedger;
 
@@ -145,12 +146,10 @@ pub fn run_beeping(g: &Graph, params: &BeepingParams, seed: u64) -> BeepingRun {
         }
 
         // R1: beeps.
-        let beeps: Vec<bool> = (0..n)
-            .map(|i| {
-                alive(&removed_at, i)
-                    && rng.coin(Stream::Beep, NodeId::new(i as u32), t) <= p_of(pexp[i])
-            })
-            .collect();
+        let beeps: Vec<bool> = par_map_nodes(n, |i| {
+            alive(&removed_at, i)
+                && rng.coin(Stream::Beep, NodeId::new(i as u32), t) <= p_of(pexp[i])
+        });
         let heard = engine.round(&beeps);
 
         if params.record_trace {
@@ -284,19 +283,14 @@ pub fn evolve_beeping(
         if undecided == 0 {
             break;
         }
-        let beeps: Vec<bool> = (0..n)
-            .map(|i| {
-                removed_at[i].is_none()
-                    && rng.coin(Stream::Beep, coin_ids[i], t) <= p_of(pexp[i])
-            })
-            .collect();
-        let heard: Vec<bool> = (0..n)
-            .map(|i| {
-                g.neighbors(NodeId::new(i as u32))
-                    .iter()
-                    .any(|u| beeps[u.index()])
-            })
-            .collect();
+        let beeps: Vec<bool> = par_map_nodes(n, |i| {
+            removed_at[i].is_none() && rng.coin(Stream::Beep, coin_ids[i], t) <= p_of(pexp[i])
+        });
+        let heard: Vec<bool> = par_map_nodes(n, |i| {
+            g.neighbors(NodeId::new(i as u32))
+                .iter()
+                .any(|u| beeps[u.index()])
+        });
         let joins: Vec<usize> = (0..n)
             .filter(|&i| removed_at[i].is_none() && beeps[i] && !heard[i])
             .collect();
@@ -328,18 +322,18 @@ pub fn evolve_beeping(
 }
 
 /// `d_t(v) = Σ_{undecided u ∈ N(v)} p_t(u)` for every node.
+///
+/// Gathers per node over its (sorted) neighbor list — the same ascending
+/// accumulation order a sequential scatter would produce, so the f64 sums
+/// are bit-identical to it and independent of the worker-thread count.
 fn compute_d(g: &Graph, pexp: &[u32], removed_at: &[Option<u64>]) -> Vec<f64> {
-    let n = g.node_count();
-    let mut d = vec![0.0f64; n];
-    for i in 0..n {
-        if removed_at[i].is_none() {
-            let p = p_of(pexp[i]);
-            for &u in g.neighbors(NodeId::new(i as u32)) {
-                d[u.index()] += p;
-            }
-        }
-    }
-    d
+    par_map_nodes(g.node_count(), |i| {
+        g.neighbors(NodeId::new(i as u32))
+            .iter()
+            .filter(|u| removed_at[u.index()].is_none())
+            .map(|u| p_of(pexp[u.index()]))
+            .sum()
+    })
 }
 
 /// `d'_t(v)`: the part of `d_t(v)` contributed by non-heavy undecided

@@ -44,9 +44,9 @@ use cc_mis_sim::bits::{
     node_id_bits, standard_bandwidth, COIN_BITS, PROBABILITY_EXPONENT_BITS,
 };
 use cc_mis_sim::clique::CliqueEngine;
+use cc_mis_sim::par_nodes::par_map_nodes;
 use cc_mis_sim::rng::{SharedRandomness, Stream};
 use cc_mis_sim::RoundLedger;
-use serde::{Deserialize, Serialize};
 
 use crate::cleanup::leader_cleanup;
 use crate::common::{double_capped, halve, p_of, MisOutcome, INITIAL_PEXP};
@@ -65,7 +65,7 @@ pub struct CliqueMisParams {
 }
 
 /// Per-phase statistics of the simulation (experiment E6/E7 inputs).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CliquePhaseStats {
     /// Global iteration at which the phase began.
     pub start_iteration: u64,
@@ -272,25 +272,25 @@ pub fn run_clique_mis(g: &Graph, cfg: &CliqueMisParams, seed: u64) -> CliqueMisR
         let gather = gather_balls(&mut engine, &g_s, &in_s, (2 * len).max(1), record_bits);
 
         // ===== 4. Local replay per S-node (Lemma 2.13) =====
+        // Each replay is a pure function of the gathered ball and the
+        // addressable randomness, so the S-nodes replay in parallel;
+        // results come back in index order, keeping the phase bit-identical
+        // to sequential execution (see `cc_mis_sim::par_nodes`).
         let mut announcements: Vec<Option<Announcement>> = vec![None; n];
         let mut replayed_pexp: Vec<Option<u32>> = vec![None; n];
         let mut replayed_removed: Vec<Option<Option<u8>>> = vec![None; n];
-        for s in 0..n {
+        let replays = par_map_nodes(n, |s| {
             if !in_s[s] {
-                continue;
+                return None;
             }
-            let (ann, final_pexp, removed_k) = replay_ball(
-                s,
-                &gather.balls[s],
-                &pexp,
-                &sh_or,
-                &rng,
-                t0,
-                len,
-            );
-            announcements[s] = Some(ann);
-            replayed_pexp[s] = Some(final_pexp);
-            replayed_removed[s] = Some(removed_k);
+            Some(replay_ball(s, &gather.balls[s], &pexp, &sh_or, &rng, t0, len))
+        });
+        for (s, replay) in replays.into_iter().enumerate() {
+            if let Some((ann, final_pexp, removed_k)) = replay {
+                announcements[s] = Some(ann);
+                replayed_pexp[s] = Some(final_pexp);
+                replayed_removed[s] = Some(removed_k);
+            }
         }
 
         // ===== 5. Announcement round =====
@@ -436,7 +436,7 @@ fn earliest_neighbor_join(inbox: &[(NodeId, Announcement)]) -> Option<u8> {
 /// `len`-hop neighborhood in `G*[S]`.
 fn replay_ball(
     center: usize,
-    ball: &std::collections::BTreeSet<(u32, u32)>,
+    ball: &crate::exponentiation::Ball,
     pexp0: &[u32],
     sh_or: &[u64],
     rng: &SharedRandomness,
@@ -446,8 +446,8 @@ fn replay_ball(
     // Local index space over the ball's nodes (plus the center, which may
     // have an empty ball).
     let mut nodes: Vec<u32> = ball
-        .iter()
-        .flat_map(|&(a, b)| [a, b])
+        .edges()
+        .flat_map(|(a, b)| [a, b])
         .chain(std::iter::once(center as u32))
         .collect();
     nodes.sort_unstable();
@@ -455,7 +455,7 @@ fn replay_ball(
     let local_of = |id: u32| nodes.binary_search(&id).expect("node is in the ball");
     let m = nodes.len();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m];
-    for &(a, b) in ball {
+    for (a, b) in ball.edges() {
         let (la, lb) = (local_of(a), local_of(b));
         adj[la].push(lb);
         adj[lb].push(la);

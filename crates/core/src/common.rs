@@ -11,7 +11,6 @@
 use cc_mis_graph::NodeId;
 use cc_mis_sim::bits::MAX_PROBABILITY_EXPONENT;
 use cc_mis_sim::RoundLedger;
-use serde::{Deserialize, Serialize};
 
 /// The probability exponent at the start of every algorithm (`p = 1/2`).
 pub const INITIAL_PEXP: u32 = 1;
@@ -54,7 +53,7 @@ pub fn iterations_for_max_degree(max_degree: usize, factor: f64) -> u64 {
 }
 
 /// Outcome of a complete MIS computation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MisOutcome {
     /// The maximal independent set, sorted by node id.
     pub mis: Vec<NodeId>,

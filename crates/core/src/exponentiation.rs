@@ -18,20 +18,82 @@
 //! bit accounting covers decorations even though the payload carries only
 //! the edge (decorations being reconstructible from the shared randomness;
 //! see DESIGN.md §2).
+//!
+//! ## Representation
+//!
+//! Balls are stored *flat*: each edge `(a, b)` with `a < b` is packed into
+//! a single `u64` key (`a` in the high half), and a ball is a sorted,
+//! deduplicated `Vec<u64>` of keys. Sorted-key order coincides with the
+//! lexicographic pair order. Internally a gather works in *dense edge-id*
+//! space — id `i` is the `i`-th participant edge in key order, so
+//! id-sorted output is key-sorted output — and payloads ship as shared
+//! `Arc<[u32]>` id slices. Unions of received balls run in `O(total input
+//! ids)` against an L1-resident membership bitmap (no hashing anywhere on
+//! the union path), with an early stop once a ball holds every participant
+//! edge; [`kway_union`] is the sorted-merge reference the bitmap union
+//! must agree with. The round/bit accounting is unchanged: payload bits
+//! (`ball edges × record_bits`) and packet targets are computed exactly as
+//! before.
 
-use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cc_mis_graph::{Graph, NodeId};
 use cc_mis_sim::clique::CliqueEngine;
 use cc_mis_sim::routing::{route, Packet};
+
+/// Packs an edge `(a, b)` into a single `u64` key (`a` in the high bits).
+/// Sorting keys sorts the edges lexicographically by `(a, b)`.
+#[inline]
+pub fn pack_edge(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// Inverse of [`pack_edge`].
+#[inline]
+pub fn unpack_edge(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// A gathered ball: the set of known edges, as sorted packed-edge keys.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ball {
+    keys: Vec<u64>,
+}
+
+impl Ball {
+    /// Number of known edges.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the ball holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Whether the edge `(a, b)` (as ordered by the gather graph, `a < b`)
+    /// is known.
+    pub fn contains(&self, a: u32, b: u32) -> bool {
+        self.keys.binary_search(&pack_edge(a, b)).is_ok()
+    }
+
+    /// The sorted packed-edge keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Iterates the known edges in `(a, b)` lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.keys.iter().map(|&k| unpack_edge(k))
+    }
+}
 
 /// Result of a [`gather_balls`] invocation.
 #[derive(Debug, Clone)]
 pub struct GatherResult {
     /// For each node: the set of known edges `(u, v)` with `u < v`
     /// (non-participants have empty balls).
-    pub balls: Vec<BTreeSet<(u32, u32)>>,
+    pub balls: Vec<Ball>,
     /// Doubling steps performed (`⌈log₂ radius⌉`).
     pub steps: u64,
     /// Clique rounds the routing consumed (also charged to the engine).
@@ -40,13 +102,45 @@ pub struct GatherResult {
     pub max_ball_edges: usize,
 }
 
+/// Union of sorted, deduplicated `u64` runs by divide-and-conquer k-way
+/// merge: `O(M log k)` for `M` total keys across `k` runs. The reference
+/// union for [`gather_balls`] (whose hot path uses an `O(M)` epoch-marked
+/// union over dense edge ids instead — see [`EdgeIndex`]).
+pub fn kway_union(runs: &[&[u64]]) -> Vec<u64> {
+    match runs.len() {
+        0 => Vec::new(),
+        1 => runs[0].to_vec(),
+        2 => merge_union(runs[0], runs[1]),
+        _ => {
+            let mid = runs.len() / 2;
+            merge_union(&kway_union(&runs[..mid]), &kway_union(&runs[mid..]))
+        }
+    }
+}
+
+/// Two-pointer union of two sorted deduplicated runs.
+pub fn merge_union(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        out.push(x.min(y));
+        i += (x <= y) as usize;
+        j += (y <= x) as usize;
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 /// Gathers, for every `participant` node, all edges of `gather` within
 /// distance `radius` of it.
 ///
 /// `gather` must have the same vertex numbering as the engine; its edges
 /// are the knowledge being learned (for §2.4 this is `G[S]`; for §2.5 it is
 /// `G` itself). Only participants hold and exchange knowledge; edges with a
-/// non-participant endpoint are assumed absent from `gather`.
+/// non-participant endpoint are assumed absent from `gather` (and are
+/// ignored if present).
 ///
 /// # Panics
 ///
@@ -63,9 +157,9 @@ pub struct GatherResult {
 /// let mut engine = CliqueEngine::strict(6, 64);
 /// let res = gather_balls(&mut engine, &g, &vec![true; 6], 2, 20);
 /// // Node 0 sees edges (0,1) and (1,2) — its 2-hop ball on a path.
-/// assert!(res.balls[0].contains(&(0, 1)));
-/// assert!(res.balls[0].contains(&(1, 2)));
-/// assert!(!res.balls[0].contains(&(2, 3)));
+/// assert!(res.balls[0].contains(0, 1));
+/// assert!(res.balls[0].contains(1, 2));
+/// assert!(!res.balls[0].contains(2, 3));
 /// ```
 pub fn gather_balls(
     engine: &mut CliqueEngine,
@@ -78,40 +172,61 @@ pub fn gather_balls(
     assert_eq!(participant.len(), gather.node_count(), "participant mask mismatch");
     let n = gather.node_count();
 
-    // Radius-1 initialization: incident edges.
-    let mut balls: Vec<BTreeSet<(u32, u32)>> = vec![BTreeSet::new(); n];
+    // Dense edge-id space over the participant-filtered edge set: id `i` is
+    // the `i`-th edge in ascending packed-key order, so id-sorted vectors
+    // are key-sorted vectors. The whole gather — balls, payloads, unions —
+    // runs on `u32` ids; keys reappear only in the returned `Ball`s.
+    // `edges()` already iterates in ascending `(u, v)` order.
+    let mut edge_keys: Vec<u64> = Vec::new();
+    let mut ends: Vec<(u32, u32)> = Vec::new();
+    let mut balls: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (u, v) in gather.edges() {
         if participant[u.index()] && participant[v.index()] {
-            balls[u.index()].insert((u.raw(), v.raw()));
-            balls[v.index()].insert((u.raw(), v.raw()));
+            let id = edge_keys.len() as u32;
+            edge_keys.push(pack_edge(u.raw(), v.raw()));
+            ends.push((u.raw(), v.raw()));
+            // Radius-1 initialization: incident edges. Ids are appended in
+            // ascending order, so every ball starts sorted.
+            balls[u.index()].push(id);
+            balls[v.index()].push(id);
         }
     }
+    debug_assert!(edge_keys.is_sorted());
+    let m_part = edge_keys.len();
+    // Membership bitmap for the union below: one bit per participant edge,
+    // L1-resident for any gather this simulator can afford to run.
+    let mut seen: Vec<u64> = vec![0; m_part.div_ceil(64)];
 
     let steps = if radius <= 1 { 0 } else { (radius as f64).log2().ceil() as u64 };
     let mut total_rounds = 0u64;
     let mut steps_run = 0u64;
+    let mut targets: Vec<u32> = Vec::new();
     for _ in 0..steps {
-        type BallPayload = Rc<Vec<(u32, u32)>>;
-        let mut packets: Vec<Packet<BallPayload>> = Vec::new();
+        let mut packets: Vec<Packet<Arc<[u32]>>> = Vec::new();
         for v in 0..n {
             if !participant[v] || balls[v].is_empty() {
                 continue;
             }
-            let payload = Rc::new(balls[v].iter().copied().collect::<Vec<_>>());
+            // One shared payload for every target of this node.
+            let payload: Arc<[u32]> = Arc::from(balls[v].as_slice());
             let bits = payload.len() as u64 * record_bits;
-            let mut targets: BTreeSet<u32> = BTreeSet::new();
-            for &(a, b) in balls[v].iter() {
-                targets.insert(a);
-                targets.insert(b);
+            targets.clear();
+            for &id in &balls[v] {
+                let (a, b) = ends[id as usize];
+                targets.push(a);
+                targets.push(b);
             }
-            targets.remove(&(v as u32));
-            for t in targets {
-                packets.push(Packet {
-                    src: NodeId::new(v as u32),
-                    dst: NodeId::new(t),
-                    bits,
-                    payload: Rc::clone(&payload),
-                });
+            targets.sort_unstable();
+            targets.dedup();
+            for &t in &targets {
+                if t != v as u32 {
+                    packets.push(Packet {
+                        src: NodeId::new(v as u32),
+                        dst: NodeId::new(t),
+                        bits,
+                        payload: Arc::clone(&payload),
+                    });
+                }
             }
         }
         let (inboxes, outcome) = route(engine, packets).expect("gather packets are well-formed");
@@ -123,15 +238,48 @@ pub fn gather_balls(
         let full = gather.edge_count();
         for (v, inbox) in inboxes.into_iter().enumerate().take(n) {
             let before = balls[v].len();
-            for packet in inbox {
-                // A ball holding every edge of the gather graph can learn
-                // nothing more — skip the remaining unions (a large
-                // wall-clock saving in the saturating step; the routing
-                // rounds were already charged, so accounting is unchanged).
-                if balls[v].len() == full {
-                    break;
+            // A ball holding every edge of the gather graph can learn
+            // nothing more — skip the union entirely (a large wall-clock
+            // saving in the saturating step; the routing rounds were
+            // already charged, so accounting is unchanged).
+            if before != full && !inbox.is_empty() {
+                for &id in &balls[v] {
+                    seen[(id >> 6) as usize] |= 1 << (id & 63);
                 }
-                balls[v].extend(packet.payload.iter().copied());
+                let mut count = before;
+                for packet in &inbox {
+                    // Saturated at the participant edge set: nothing left
+                    // to learn, skip the remaining payloads.
+                    if count == m_part {
+                        break;
+                    }
+                    for &id in packet.payload.iter() {
+                        let word = &mut seen[(id >> 6) as usize];
+                        let bit = 1u64 << (id & 63);
+                        if *word & bit == 0 {
+                            *word |= bit;
+                            count += 1;
+                        }
+                    }
+                }
+                if count != before {
+                    // A sequential scan of the bitmap emits the new ball
+                    // already id-sorted (hence key-sorted).
+                    let mut out = Vec::with_capacity(count);
+                    for (wi, &word) in seen.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            out.push((wi as u32) << 6 | bits.trailing_zeros());
+                            bits &= bits - 1;
+                        }
+                    }
+                    balls[v] = out;
+                }
+                // The final ball covers every set bit (payload ids that were
+                // already known included), so this clears the whole bitmap.
+                for &id in &balls[v] {
+                    seen[(id >> 6) as usize] = 0;
+                }
             }
             grew |= balls[v].len() != before;
         }
@@ -142,9 +290,14 @@ pub fn gather_balls(
         }
     }
 
-    let max_ball_edges = balls.iter().map(BTreeSet::len).max().unwrap_or(0);
+    let max_ball_edges = balls.iter().map(Vec::len).max().unwrap_or(0);
     GatherResult {
-        balls,
+        balls: balls
+            .into_iter()
+            .map(|ids| Ball {
+                keys: ids.into_iter().map(|id| edge_keys[id as usize]).collect(),
+            })
+            .collect(),
         steps: steps_run,
         rounds: total_rounds,
         max_ball_edges,
@@ -156,10 +309,14 @@ mod tests {
     use super::*;
     use cc_mis_graph::generators;
     use cc_mis_sim::bits::standard_bandwidth;
-    use std::collections::VecDeque;
+    use std::collections::{BTreeSet, VecDeque};
 
     fn engine_for(n: usize) -> CliqueEngine {
         CliqueEngine::strict(n.max(2), standard_bandwidth(n.max(2)))
+    }
+
+    fn as_set(ball: &Ball) -> BTreeSet<(u32, u32)> {
+        ball.edges().collect()
     }
 
     /// Reference: edges within BFS distance `radius` of `s`.
@@ -191,6 +348,28 @@ mod tests {
     }
 
     #[test]
+    fn edge_keys_pack_and_sort_like_pairs() {
+        let pairs = [(0u32, 1u32), (0, 7), (1, 2), (3, 4), (u32::MAX - 1, u32::MAX)];
+        let mut keys: Vec<u64> = pairs.iter().map(|&(a, b)| pack_edge(a, b)).collect();
+        for (k, &(a, b)) in keys.iter().zip(&pairs) {
+            assert_eq!(unpack_edge(*k), (a, b));
+        }
+        let sorted = keys.clone();
+        keys.sort_unstable();
+        assert_eq!(keys, sorted, "key order must match lexicographic pair order");
+    }
+
+    #[test]
+    fn kway_union_merges_sorted_runs() {
+        assert_eq!(kway_union(&[]), Vec::<u64>::new());
+        assert_eq!(kway_union(&[&[1, 3, 5]]), vec![1, 3, 5]);
+        assert_eq!(
+            kway_union(&[&[1, 3, 5][..], &[2, 3, 4][..], &[5, 9][..], &[][..]]),
+            vec![1, 2, 3, 4, 5, 9]
+        );
+    }
+
+    #[test]
     fn balls_contain_bfs_balls() {
         // The gathered ball must contain every edge within the radius
         // (it may contain more — doubling overshoots to the next power of
@@ -207,11 +386,55 @@ mod tests {
             for v in g.nodes() {
                 let expected = bfs_ball(&g, v, radius);
                 assert!(
-                    expected.is_subset(&res.balls[v.index()]),
+                    expected.is_subset(&as_set(&res.balls[v.index()])),
                     "node {v} radius {radius} missing edges"
                 );
             }
         }
+    }
+
+    #[test]
+    fn gathered_balls_are_exactly_power_of_two_bfs_balls() {
+        // The doubling recursion gives exactly the radius-2^steps BFS ball
+        // (edges whose closer endpoint is within 2^steps − 1). This pins
+        // the epoch-marked union against the BFS reference set-for-set —
+        // any over- or under-merge shows up here.
+        for (g, radius) in [
+            (generators::erdos_renyi_gnp(60, 0.06, 5), 4usize),
+            (generators::grid(5, 6), 2),
+            (generators::random_regular(48, 3, 9), 8),
+        ] {
+            let n = g.node_count();
+            let mut engine = engine_for(n);
+            let res = gather_balls(&mut engine, &g, &vec![true; n], radius, 24);
+            let reach = 1usize << res.steps;
+            for v in g.nodes() {
+                assert_eq!(
+                    as_set(&res.balls[v.index()]),
+                    bfs_ball(&g, v, reach),
+                    "node {v} radius {radius} (effective {reach})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn marked_union_agrees_with_kway_reference() {
+        // The gather's epoch-marked union and the k-way sorted merge are
+        // two implementations of the same set union; cross-check them on
+        // the raw key level with overlapping runs.
+        let runs: Vec<Vec<u64>> = vec![
+            (0..40).map(|i| pack_edge(i, i + 1)).collect(),
+            (20..70).map(|i| pack_edge(i, i + 1)).collect(),
+            vec![],
+            (0..100).step_by(3).map(|i| pack_edge(i, i + 1)).collect(),
+        ];
+        let slices: Vec<&[u64]> = runs.iter().map(Vec::as_slice).collect();
+        let merged = kway_union(&slices);
+        let mut expected: Vec<u64> = runs.concat();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(merged, expected);
     }
 
     #[test]
@@ -222,7 +445,7 @@ mod tests {
         // radius 3 → 2 steps → effective radius 4.
         let res = gather_balls(&mut engine, &g, &vec![true; n], 3, 24);
         assert_eq!(res.steps, 2);
-        let ball0 = &res.balls[0];
+        let ball0 = as_set(&res.balls[0]);
         let reach = bfs_ball(&g, NodeId::new(0), 4);
         assert!(ball0.is_subset(&reach), "ball exceeded doubled radius");
     }
@@ -263,7 +486,86 @@ mod tests {
         let mut engine = engine_for(6);
         let res = gather_balls(&mut engine, &filtered, &mask, 2, 16);
         assert!(res.balls[0].is_empty());
-        assert!(res.balls[1].iter().all(|&(a, b)| a != 0 && b != 0));
+        assert!(res.balls[1].edges().all(|(a, b)| a != 0 && b != 0));
+    }
+
+    #[test]
+    fn non_participant_endpoint_edges_are_dropped() {
+        // Contract-violation tolerance: if the gather graph *does* contain
+        // an edge with a non-participant endpoint, that edge must never
+        // enter any ball (the initialization filters on both endpoints) and
+        // the non-participant must hold nothing throughout.
+        let g = generators::path(6); // 0-1-2-3-4-5
+        let mut mask = vec![true; 6];
+        mask[3] = false; // edges (2,3) and (3,4) have a non-participant end
+        let mut engine = engine_for(6);
+        let res = gather_balls(&mut engine, &g, &mask, 4, 16);
+        assert!(res.balls[3].is_empty(), "non-participant gathered edges");
+        for v in 0..6 {
+            assert!(
+                res.balls[v].edges().all(|(a, b)| a != 3 && b != 3),
+                "node {v} learned an edge incident to the non-participant"
+            );
+        }
+        // The participants on each side still learn their own side fully.
+        assert!(res.balls[0].contains(0, 1));
+        assert!(res.balls[0].contains(1, 2));
+        assert!(res.balls[5].contains(4, 5));
+    }
+
+    #[test]
+    fn saturation_stops_doubling_early() {
+        // K4 has diameter 1: after one doubling step every ball holds all
+        // 6 edges. The second step routes (and is charged) but grows
+        // nothing, so the loop exits — steps 3 and 4 of the nominal
+        // ⌈log₂ 16⌉ = 4 never run.
+        let g = generators::complete(4);
+        let mut engine = engine_for(4);
+        let res = gather_balls(&mut engine, &g, &[true; 4], 16, 16);
+        assert_eq!(res.steps, 2, "expected early exit after the no-growth step");
+        let full = g.edge_count();
+        assert!(res.balls.iter().all(|b| b.len() == full));
+        assert_eq!(res.max_ball_edges, full);
+        // The no-growth step's routing rounds are still charged.
+        assert_eq!(engine.ledger().rounds, res.rounds);
+        assert!(res.rounds > 0);
+    }
+
+    #[test]
+    fn saturated_balls_equal_component_edge_sets() {
+        // Two disjoint triangles: radius far beyond the diameter. Each
+        // node's ball saturates at its own component's edge set — the
+        // `len == full` skip only triggers when a ball holds *every* edge
+        // of the gather graph, which never happens here, so the union path
+        // still runs and must stabilize on the component.
+        let g = generators::disjoint_cliques(2, 3);
+        let n = g.node_count();
+        let mut engine = engine_for(n);
+        let res = gather_balls(&mut engine, &g, &vec![true; n], 8, 16);
+        let (comp, _) = cc_mis_graph::ops::connected_components(&g);
+        for v in 0..n {
+            let expected: BTreeSet<(u32, u32)> = g
+                .edges()
+                .filter(|(u, _)| comp[u.index()] == comp[v])
+                .map(|(u, w)| (u.raw(), w.raw()))
+                .collect();
+            assert_eq!(as_set(&res.balls[v]), expected, "node {v}");
+        }
+    }
+
+    #[test]
+    fn full_ball_skip_matches_plain_union() {
+        // On a connected graph gathered past its diameter, every ball ends
+        // at exactly the full edge set — the skip branch must not change
+        // the result, only avoid redundant merging.
+        let g = generators::grid(3, 3);
+        let mut engine = engine_for(9);
+        let res = gather_balls(&mut engine, &g, &[true; 9], 8, 16);
+        let full: BTreeSet<(u32, u32)> =
+            g.edges().map(|(u, v)| (u.raw(), v.raw())).collect();
+        for v in 0..9 {
+            assert_eq!(as_set(&res.balls[v]), full, "node {v}");
+        }
     }
 
     #[test]
@@ -282,7 +584,7 @@ mod tests {
         let g = cc_mis_graph::Graph::empty(5);
         let mut engine = engine_for(5);
         let res = gather_balls(&mut engine, &g, &[true; 5], 4, 16);
-        assert!(res.balls.iter().all(BTreeSet::is_empty));
+        assert!(res.balls.iter().all(Ball::is_empty));
         assert_eq!(res.rounds, 0);
         assert_eq!(res.max_ball_edges, 0);
     }

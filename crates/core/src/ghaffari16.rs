@@ -33,6 +33,7 @@ use cc_mis_graph::{Graph, NodeId};
 use cc_mis_sim::bits::{standard_bandwidth, PROBABILITY_EXPONENT_BITS};
 use cc_mis_sim::clique::CliqueEngine;
 use cc_mis_sim::congest::CongestEngine;
+use cc_mis_sim::par_nodes::par_map_nodes;
 use cc_mis_sim::rng::{SharedRandomness, Stream};
 
 use crate::cleanup;
@@ -122,15 +123,14 @@ pub fn evolve(g: &Graph, coin_ids: &[NodeId], rng: SharedRandomness, iterations:
         }
         let alive = |i: usize| removed_at[i].is_none();
         // Marks, from addressable coins.
-        let marked: Vec<bool> = (0..n)
-            .map(|i| alive(i) && rng.coin(Stream::Beep, coin_ids[i], t) <= p_of(pexp[i]))
-            .collect();
-        // d_t over alive neighbors, and the join rule.
-        let mut joins: Vec<usize> = Vec::new();
-        let mut next_pexp = pexp.clone();
-        for i in 0..n {
+        let marked: Vec<bool> =
+            par_map_nodes(n, |i| alive(i) && rng.coin(Stream::Beep, coin_ids[i], t) <= p_of(pexp[i]));
+        // d_t over alive neighbors, and the join rule — per node a pure
+        // function of the iteration's snapshots (neighbor order fixes the
+        // f64 summation order, so results are thread-count independent).
+        let updates = par_map_nodes(n, |i| {
             if !alive(i) {
-                continue;
+                return None;
             }
             let v = NodeId::new(i as u32);
             let mut d = 0.0f64;
@@ -141,12 +141,18 @@ pub fn evolve(g: &Graph, coin_ids: &[NodeId], rng: SharedRandomness, iterations:
                     neighbor_marked |= marked[u.index()];
                 }
             }
-            if marked[i] && !neighbor_marked {
-                joins.push(i);
+            let next = if d >= 2.0 { halve(pexp[i]) } else { double_capped(pexp[i]) };
+            Some((marked[i] && !neighbor_marked, next))
+        });
+        let mut joins: Vec<usize> = Vec::new();
+        for (i, update) in updates.into_iter().enumerate() {
+            if let Some((join, next)) = update {
+                if join {
+                    joins.push(i);
+                }
+                pexp[i] = next;
             }
-            next_pexp[i] = if d >= 2.0 { halve(pexp[i]) } else { double_capped(pexp[i]) };
         }
-        pexp = next_pexp;
         // Removals.
         for &i in &joins {
             joined_at[i] = Some(t);
@@ -206,9 +212,9 @@ pub fn run_ghaffari16(g: &Graph, params: &Ghaffari16Params, seed: u64) -> MisOut
             "Ghaffari'16 failed to terminate within {} iterations",
             params.max_iterations
         );
-        let marked: Vec<bool> = (0..n)
-            .map(|i| alive[i] && rng.coin(Stream::Beep, NodeId::new(i as u32), t) <= p_of(pexp[i]))
-            .collect();
+        let marked: Vec<bool> = par_map_nodes(n, |i| {
+            alive[i] && rng.coin(Stream::Beep, NodeId::new(i as u32), t) <= p_of(pexp[i])
+        });
 
         // Round 1: exchange (p-exponent, mark bit) with undecided neighbors.
         let mut round = engine.begin_round::<(u32, bool)>();
@@ -226,11 +232,12 @@ pub fn run_ghaffari16(g: &Graph, params: &Ghaffari16Params, seed: u64) -> MisOut
         }
         let inboxes = round.deliver();
 
-        let mut joins: Vec<usize> = Vec::new();
-        for v in g.nodes() {
-            let i = v.index();
+        // Per-node update from the delivered inboxes; each inbox is sorted
+        // by sender, so the f64 sum order is fixed and the results are
+        // independent of the worker-thread count.
+        let updates = par_map_nodes(n, |i| {
             if !alive[i] {
-                continue;
+                return None;
             }
             let mut d = 0.0f64;
             let mut neighbor_marked = false;
@@ -238,10 +245,17 @@ pub fn run_ghaffari16(g: &Graph, params: &Ghaffari16Params, seed: u64) -> MisOut
                 d += p_of(pe);
                 neighbor_marked |= m;
             }
-            if marked[i] && !neighbor_marked {
-                joins.push(i);
+            let next = if d >= 2.0 { halve(pexp[i]) } else { double_capped(pexp[i]) };
+            Some((marked[i] && !neighbor_marked, next))
+        });
+        let mut joins: Vec<usize> = Vec::new();
+        for (i, update) in updates.into_iter().enumerate() {
+            if let Some((join, next)) = update {
+                if join {
+                    joins.push(i);
+                }
+                pexp[i] = next;
             }
-            pexp[i] = if d >= 2.0 { halve(pexp[i]) } else { double_capped(pexp[i]) };
         }
 
         // Round 2: joiners announce; joiners and neighbors leave.

@@ -106,15 +106,15 @@ pub fn run_lowdeg(g: &Graph, params: &LowDegParams, seed: u64) -> LowDegResult {
     for v in 0..n {
         let ball = &gather.balls[v];
         let mut nodes: Vec<u32> = ball
-            .iter()
-            .flat_map(|&(a, b)| [a, b])
+            .edges()
+            .flat_map(|(a, b)| [a, b])
             .chain(std::iter::once(v as u32))
             .collect();
         nodes.sort_unstable();
         nodes.dedup();
         let local_of = |id: u32| nodes.binary_search(&id).expect("ball node");
         let mut builder = GraphBuilder::new(nodes.len());
-        for &(a, b) in ball {
+        for (a, b) in ball.edges() {
             builder
                 .add_edge(
                     NodeId::new(local_of(a) as u32),

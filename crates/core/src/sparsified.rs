@@ -34,9 +34,9 @@
 //! (default `max(2, ⌈√(log₂ n)/2⌉)`). Experiment A1 sweeps `P`.
 
 use cc_mis_graph::{Graph, NodeId};
+use cc_mis_sim::par_nodes::par_map_nodes;
 use cc_mis_sim::rng::{SharedRandomness, Stream};
 use cc_mis_sim::RoundLedger;
-use serde::{Deserialize, Serialize};
 
 use crate::beeping_mis::{GOLDEN1_D_MAX, GOLDEN2_D_MIN, HEAVY_THRESHOLD};
 use crate::common::{double_capped, halve, iterations_for_max_degree, p_of, MisOutcome, INITIAL_PEXP};
@@ -44,7 +44,7 @@ use crate::greedy::greedy_mis_on_residual;
 
 /// Parameters of the sparsified algorithm (shared verbatim with the clique
 /// simulation, which must match it bit-for-bit).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SparsifiedParams {
     /// Phase length `P` (the paper's `√(δ log n)/10`).
     pub phase_len: usize,
@@ -86,7 +86,7 @@ impl SparsifiedParams {
 
 /// Per-phase record: who was super-heavy, who was sampled into `S`, and how
 /// locally sparse `G[S]` was (the Lemma 2.12 quantity).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PhaseInfo {
     /// Global iteration index at which the phase began.
     pub start_iteration: u64,
@@ -222,22 +222,17 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
             // Beeps: super-heavy nodes follow their committed schedule for
             // the whole phase (even if removed mid-phase); others beep only
             // while undecided.
-            let beeps: Vec<bool> = (0..n)
-                .map(|i| {
-                    let schedule_active =
-                        super_heavy[i] || removed_at[i].is_none();
-                    schedule_active
-                        && alive0[i]
-                        && rng.coin(Stream::Beep, NodeId::new(i as u32), t) <= p_of(pexp[i])
-                })
-                .collect();
-            let heard: Vec<bool> = (0..n)
-                .map(|i| {
-                    g.neighbors(NodeId::new(i as u32))
-                        .iter()
-                        .any(|u| beeps[u.index()])
-                })
-                .collect();
+            let beeps: Vec<bool> = par_map_nodes(n, |i| {
+                let schedule_active = super_heavy[i] || removed_at[i].is_none();
+                schedule_active
+                    && alive0[i]
+                    && rng.coin(Stream::Beep, NodeId::new(i as u32), t) <= p_of(pexp[i])
+            });
+            let heard: Vec<bool> = par_map_nodes(n, |i| {
+                g.neighbors(NodeId::new(i as u32))
+                    .iter()
+                    .any(|u| beeps[u.index()])
+            });
 
             if params.record_trace {
                 record_trace(
@@ -411,14 +406,12 @@ pub fn run_sparsified_messaged(g: &Graph, params: &SparsifiedParams, seed: u64) 
 
         for k in 0..len {
             let t = t0 + k as u64;
-            let beeps: Vec<bool> = (0..n)
-                .map(|i| {
-                    let schedule_active = super_heavy[i] || removed_at[i].is_none();
-                    schedule_active
-                        && alive0[i]
-                        && rng.coin(Stream::Beep, NodeId::new(i as u32), t) <= p_of(pexp[i])
-                })
-                .collect();
+            let beeps: Vec<bool> = par_map_nodes(n, |i| {
+                let schedule_active = super_heavy[i] || removed_at[i].is_none();
+                schedule_active
+                    && alive0[i]
+                    && rng.coin(Stream::Beep, NodeId::new(i as u32), t) <= p_of(pexp[i])
+            });
             // R1 over the real beeping engine.
             let heard = beeping.round(&beeps);
             let joins: Vec<usize> = (0..n)
@@ -498,29 +491,28 @@ pub(crate) fn sample_set(
     len: usize,
 ) -> Vec<bool> {
     let n = g.node_count();
-    (0..n)
-        .map(|i| {
-            if !alive0[i] || super_heavy[i] {
-                return false;
-            }
-            let bound = (len as f64).exp2() * p_of(pexp[i]);
-            (0..len as u64).any(|k| rng.coin(Stream::Beep, NodeId::new(i as u32), t0 + k) <= bound)
-        })
-        .collect()
+    par_map_nodes(n, |i| {
+        if !alive0[i] || super_heavy[i] {
+            return false;
+        }
+        let bound = (len as f64).exp2() * p_of(pexp[i]);
+        (0..len as u64).any(|k| rng.coin(Stream::Beep, NodeId::new(i as u32), t0 + k) <= bound)
+    })
 }
 
 /// `Σ_{alive u ∈ N(v)} p(u)` for every node.
+///
+/// Gathers per node over its (sorted) neighbor list — the same ascending
+/// accumulation order a sequential scatter would produce, so the f64 sums
+/// are bit-identical to it and independent of the worker-thread count.
 fn weighted_alive_degree(g: &Graph, pexp: &[u32], alive: &[bool]) -> Vec<f64> {
-    let mut d = vec![0.0f64; g.node_count()];
-    for i in 0..g.node_count() {
-        if alive[i] {
-            let p = p_of(pexp[i]);
-            for &u in g.neighbors(NodeId::new(i as u32)) {
-                d[u.index()] += p;
-            }
-        }
-    }
-    d
+    par_map_nodes(g.node_count(), |i| {
+        g.neighbors(NodeId::new(i as u32))
+            .iter()
+            .filter(|u| alive[u.index()])
+            .map(|u| p_of(pexp[u.index()]))
+            .sum()
+    })
 }
 
 /// Maximum degree of the subgraph induced by `member` (Lemma 2.12 metric).

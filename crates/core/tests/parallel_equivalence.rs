@@ -1,0 +1,69 @@
+//! The determinism contract of `cc_mis_sim::par_nodes`: for a fixed seed,
+//! every algorithm that adopted `par_map_nodes` produces *bit-identical*
+//! results whether the per-node steps run sequentially (the
+//! `CC_MIS_THREADS=1` escape hatch) or on a real worker pool.
+//!
+//! Everything lives in one `#[test]` because the thread-count override is
+//! process-global; a single test body keeps the forced-pool and
+//! forced-sequential runs strictly ordered.
+
+use cc_mis_core::beeping_mis::{run_beeping, BeepingParams};
+use cc_mis_core::clique_mis::{run_clique_mis, CliqueMisParams};
+use cc_mis_core::ghaffari16::{run_ghaffari16, run_ghaffari16_clique, Ghaffari16Params};
+use cc_mis_core::sparsified::{run_sparsified_with_cleanup, SparsifiedParams};
+use cc_mis_graph::generators;
+use cc_mis_sim::par_nodes::set_thread_override;
+
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    set_thread_override(Some(threads));
+    let out = f();
+    set_thread_override(None);
+    out
+}
+
+#[test]
+fn multithreaded_runs_are_bit_identical_to_sequential() {
+    let g = generators::erdos_renyi_gnp(400, 0.035, 17);
+
+    for seed in [1u64, 2, 3] {
+        // Theorem 1.1 simulation (gather + parallel local replay).
+        let params = CliqueMisParams::default();
+        let seq = with_threads(1, || run_clique_mis(&g, &params, seed));
+        let par = with_threads(4, || run_clique_mis(&g, &params, seed));
+        assert_eq!(seq.mis, par.mis, "clique MIS diverged (seed {seed})");
+        assert_eq!(seq.rounds, par.rounds, "clique rounds diverged (seed {seed})");
+        assert_eq!(seq.ledger, par.ledger, "clique ledger diverged (seed {seed})");
+        assert_eq!(seq.iterations, par.iterations);
+        assert_eq!(seq.joined_at, par.joined_at, "join times diverged (seed {seed})");
+        assert_eq!(seq.removed_at, par.removed_at, "removal times diverged (seed {seed})");
+        assert_eq!(seq.residual_nodes, par.residual_nodes);
+        assert_eq!(seq.residual_edges, par.residual_edges);
+
+        // Ghaffari'16, CONGEST and clique variants (parallel mark/update).
+        let gp = Ghaffari16Params::for_graph(&g);
+        let seq = with_threads(1, || run_ghaffari16(&g, &gp, seed));
+        let par = with_threads(4, || run_ghaffari16(&g, &gp, seed));
+        assert_eq!(seq.mis, par.mis, "g16 MIS diverged (seed {seed})");
+        assert_eq!(seq.ledger, par.ledger);
+        assert_eq!(seq.iterations, par.iterations);
+        let seq = with_threads(1, || run_ghaffari16_clique(&g, &gp, seed));
+        let par = with_threads(4, || run_ghaffari16_clique(&g, &gp, seed));
+        assert_eq!(seq.mis, par.mis, "g16-clique MIS diverged (seed {seed})");
+        assert_eq!(seq.ledger, par.ledger);
+
+        // Direct beeping run (parallel beep draws and d sums).
+        let bp = BeepingParams::for_graph(&g);
+        let seq = with_threads(1, || run_beeping(&g, &bp, seed));
+        let par = with_threads(4, || run_beeping(&g, &bp, seed));
+        assert_eq!(seq.mis, par.mis, "beeping MIS diverged (seed {seed})");
+        assert_eq!(seq.iterations, par.iterations);
+
+        // Sparsified beeping with cleanup (parallel sampling and degrees).
+        let sp = SparsifiedParams::for_graph(&g);
+        let seq = with_threads(1, || run_sparsified_with_cleanup(&g, &sp, seed));
+        let par = with_threads(4, || run_sparsified_with_cleanup(&g, &sp, seed));
+        assert_eq!(seq.mis, par.mis, "sparsified MIS diverged (seed {seed})");
+        assert_eq!(seq.ledger, par.ledger);
+        assert_eq!(seq.iterations, par.iterations);
+    }
+}

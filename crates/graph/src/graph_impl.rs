@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a vertex in a [`Graph`].
 ///
@@ -19,9 +18,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.index(), 3);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
-#[serde(transparent)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -78,7 +76,7 @@ impl From<u32> for NodeId {
 /// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
 /// assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
     /// CSR offsets; `offsets[v]..offsets[v+1]` indexes `adj`.
     offsets: Vec<usize>,
@@ -430,12 +428,5 @@ mod tests {
         let s = format!("{g:?}");
         assert!(s.contains("Graph"));
         assert!(s.contains("nodes"));
-    }
-
-    #[test]
-    fn graph_implements_serde_traits() {
-        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
-        assert_serde::<Graph>();
-        assert_serde::<NodeId>();
     }
 }

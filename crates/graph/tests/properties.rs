@@ -1,93 +1,122 @@
-//! Property-based tests of the graph substrate.
+//! Property-style tests of the graph substrate.
+//!
+//! Each test sweeps a deterministic, seeded family of cases (driven by
+//! `cc_mis_graph::rng::SplitMix64`) instead of a property-testing crate:
+//! the workspace must build offline with zero registry dependencies, and
+//! reproducibility matters more here than shrinking. Failure messages
+//! include the case seed so any counterexample replays exactly.
 
+use cc_mis_graph::rng::SplitMix64;
 use cc_mis_graph::{checks, generators, ops, Graph, GraphBuilder, NodeId};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-/// Arbitrary `G(n, p)` instance.
-fn arb_gnp() -> impl Strategy<Value = Graph> {
-    (1usize..60, 0.0f64..0.5, 0u64..500)
-        .prop_map(|(n, p, seed)| generators::erdos_renyi_gnp(n, p, seed))
+const CASES: u64 = 48;
+
+/// Deterministic `G(n, p)` instance for case index `case`.
+fn gnp_case(case: u64) -> (Graph, u64) {
+    let mut r = SplitMix64::new(0x9e3779b97f4a7c15u64.wrapping_mul(case + 1));
+    let n = 1 + (r.next_below(59) as usize);
+    let p = 0.5 * r.next_f64();
+    let seed = r.next_below(500);
+    (generators::erdos_renyi_gnp(n, p, seed), seed)
 }
 
-/// Arbitrary edge list over `n` nodes.
-fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2usize..40).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..80);
-        (Just(n), edges)
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generators_are_deterministic(n in 1usize..60, p in 0.0f64..0.5, seed in 0u64..100) {
+#[test]
+fn generators_are_deterministic() {
+    for case in 0..CASES {
+        let mut r = SplitMix64::new(case);
+        let n = 1 + r.next_below(59) as usize;
+        let p = 0.5 * r.next_f64();
+        let seed = r.next_below(100);
         let a = generators::erdos_renyi_gnp(n, p, seed);
         let b = generators::erdos_renyi_gnp(n, p, seed);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn builder_rejects_exactly_self_loops_and_range((n, edges) in arb_edges()) {
+#[test]
+fn builder_rejects_exactly_self_loops_and_range() {
+    for case in 0..CASES {
+        let mut r = SplitMix64::new(1000 + case);
+        let n = 2 + r.next_below(38) as usize;
         let mut b = GraphBuilder::new(n);
-        for (u, v) in edges {
-            let r = b.add_edge(NodeId::new(u), NodeId::new(v));
-            prop_assert_eq!(r.is_err(), u == v, "u={} v={}", u, v);
+        for _ in 0..r.next_below(80) {
+            let u = r.next_below(n as u64) as u32;
+            let v = r.next_below(n as u64) as u32;
+            let res = b.add_edge(NodeId::new(u), NodeId::new(v));
+            assert_eq!(res.is_err(), u == v, "case {case}: u={u} v={v}");
         }
         let g = b.build();
         // Handshake: sum of degrees = 2m.
         let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
-        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        assert_eq!(degree_sum, 2 * g.edge_count(), "case {case}");
     }
+}
 
-    #[test]
-    fn adjacency_is_symmetric_and_sorted(g in arb_gnp()) {
+#[test]
+fn adjacency_is_symmetric_and_sorted() {
+    for case in 0..CASES {
+        let (g, _) = gnp_case(case);
         for v in g.nodes() {
             let nbrs = g.neighbors(v);
-            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted at {v}");
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "case {case}: unsorted at {v}");
             for &u in nbrs {
-                prop_assert!(g.has_edge(u, v), "asymmetric {u} {v}");
-                prop_assert_ne!(u, v, "self-loop at {}", v);
+                assert!(g.has_edge(u, v), "case {case}: asymmetric {u} {v}");
+                assert_ne!(u, v, "case {case}: self-loop at {v}");
             }
         }
     }
+}
 
-    #[test]
-    fn gnm_has_exact_edge_count(n in 2usize..40, seed in 0u64..100) {
+#[test]
+fn gnm_has_exact_edge_count() {
+    for case in 0..CASES {
+        let mut r = SplitMix64::new(2000 + case);
+        let n = 2 + r.next_below(38) as usize;
         let max = n * (n - 1) / 2;
-        let m = seed as usize % (max + 1);
-        let g = generators::erdos_renyi_gnm(n, m, seed);
-        prop_assert_eq!(g.edge_count(), m);
+        let m = r.next_below(max as u64 + 1) as usize;
+        let g = generators::erdos_renyi_gnm(n, m, case);
+        assert_eq!(g.edge_count(), m, "case {case}: n={n} m={m}");
     }
+}
 
-    #[test]
-    fn power_is_monotone_in_k(g in arb_gnp(), k in 1usize..4) {
+#[test]
+fn power_is_monotone_in_k() {
+    for case in 0..CASES {
+        let (g, _) = gnp_case(case);
+        let k = 1 + (case as usize % 3);
         let gk = ops::power(&g, k);
         let gk1 = ops::power(&g, k + 1);
         let e_k: BTreeSet<_> = gk.edges().collect();
         let e_k1: BTreeSet<_> = gk1.edges().collect();
-        prop_assert!(e_k.is_subset(&e_k1));
+        assert!(e_k.is_subset(&e_k1), "case {case}");
         // G^1 = G.
-        prop_assert_eq!(ops::power(&g, 1), g);
+        assert_eq!(ops::power(&g, 1), g, "case {case}");
     }
+}
 
-    #[test]
-    fn square_matches_power_two(g in arb_gnp()) {
-        prop_assert_eq!(ops::square(&g), ops::power(&g, 2));
+#[test]
+fn square_matches_power_two() {
+    for case in 0..CASES {
+        let (g, _) = gnp_case(case);
+        assert_eq!(ops::square(&g), ops::power(&g, 2), "case {case}");
     }
+}
 
-    #[test]
-    fn induced_subgraph_is_a_subgraph(g in arb_gnp(), mask_seed in 0u64..100) {
+#[test]
+fn induced_subgraph_is_a_subgraph() {
+    for case in 0..CASES {
+        let (g, _) = gnp_case(case);
+        let mask_seed = case % 100;
         // Select ~half the vertices deterministically from mask_seed.
         let verts: Vec<NodeId> = g
             .nodes()
             .filter(|v| (v.raw() as u64).wrapping_mul(mask_seed + 1).is_multiple_of(2))
             .collect();
         let (sub, back) = ops::induced_subgraph(&g, &verts);
-        prop_assert_eq!(sub.node_count(), verts.len());
+        assert_eq!(sub.node_count(), verts.len(), "case {case}");
         for (u, v) in sub.edges() {
-            prop_assert!(g.has_edge(back[u.index()], back[v.index()]));
+            assert!(g.has_edge(back[u.index()], back[v.index()]), "case {case}");
         }
         // Every original edge between selected vertices survives.
         let selected: BTreeSet<NodeId> = verts.iter().copied().collect();
@@ -95,51 +124,67 @@ proptest! {
             .edges()
             .filter(|(u, v)| selected.contains(u) && selected.contains(v))
             .count();
-        prop_assert_eq!(sub.edge_count(), surviving);
+        assert_eq!(sub.edge_count(), surviving, "case {case}");
     }
+}
 
-    #[test]
-    fn line_graph_counts(g in arb_gnp()) {
+#[test]
+fn line_graph_counts() {
+    for case in 0..CASES {
+        let (g, _) = gnp_case(case);
         let (lg, edge_of) = ops::line_graph(&g);
-        prop_assert_eq!(lg.node_count(), g.edge_count());
-        prop_assert_eq!(edge_of.len(), g.edge_count());
+        assert_eq!(lg.node_count(), g.edge_count(), "case {case}");
+        assert_eq!(edge_of.len(), g.edge_count(), "case {case}");
         // |E(L(G))| = Σ_v C(deg v, 2) for simple graphs.
-        let expected: usize = g.nodes().map(|v| {
-            let d = g.degree(v);
-            d * d.saturating_sub(1) / 2
-        }).sum();
-        prop_assert_eq!(lg.edge_count(), expected);
+        let expected: usize = g
+            .nodes()
+            .map(|v| {
+                let d = g.degree(v);
+                d * d.saturating_sub(1) / 2
+            })
+            .sum();
+        assert_eq!(lg.edge_count(), expected, "case {case}");
     }
+}
 
-    #[test]
-    fn components_partition_the_graph(g in arb_gnp()) {
+#[test]
+fn components_partition_the_graph() {
+    for case in 0..CASES {
+        let (g, _) = gnp_case(case);
         let (ids, count) = ops::connected_components(&g);
-        prop_assert_eq!(ids.len(), g.node_count());
-        prop_assert!(ids.iter().all(|&c| c < count));
+        assert_eq!(ids.len(), g.node_count(), "case {case}");
+        assert!(ids.iter().all(|&c| c < count), "case {case}");
         // Endpoints of each edge share a component.
         for (u, v) in g.edges() {
-            prop_assert_eq!(ids[u.index()], ids[v.index()]);
+            assert_eq!(ids[u.index()], ids[v.index()], "case {case}");
         }
         let sizes = ops::component_sizes(&g);
-        prop_assert_eq!(sizes.iter().sum::<usize>(), g.node_count());
-        prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "not sorted desc");
+        assert_eq!(sizes.iter().sum::<usize>(), g.node_count(), "case {case}");
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "case {case}: not sorted desc");
     }
+}
 
-    #[test]
-    fn coloring_product_structure_is_sound(g in arb_gnp(), c in 1usize..4) {
+#[test]
+fn coloring_product_structure_is_sound() {
+    for case in 0..CASES {
+        let (g, _) = gnp_case(case);
+        let c = 1 + (case as usize % 3);
         let prod = ops::coloring_product(&g, c);
-        prop_assert_eq!(prod.node_count(), g.node_count() * c);
+        assert_eq!(prod.node_count(), g.node_count() * c, "case {case}");
         let expected_edges = g.node_count() * c * (c - 1) / 2 + g.edge_count() * c;
-        prop_assert_eq!(prod.edge_count(), expected_edges);
+        assert_eq!(prod.edge_count(), expected_edges, "case {case}");
         // decode ∘ encode is the identity.
         for id in prod.nodes() {
             let (v, i) = ops::decode_product(id, c);
-            prop_assert_eq!(v.index() * c + i, id.index());
+            assert_eq!(v.index() * c + i, id.index(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn greedy_style_selection_passes_checks(g in arb_gnp()) {
+#[test]
+fn greedy_style_selection_passes_checks() {
+    for case in 0..CASES {
+        let (g, _) = gnp_case(case);
         // A lowest-id greedy MIS computed inline must satisfy all three
         // checker predicates (cross-validating the checkers themselves).
         let n = g.node_count();
@@ -154,29 +199,36 @@ proptest! {
                 }
             }
         }
-        prop_assert!(checks::is_independent_set(&g, &mis));
-        prop_assert!(checks::is_dominating_set(&g, &mis));
-        prop_assert!(checks::is_maximal_independent_set(&g, &mis));
-        prop_assert!(checks::is_k_ruling_set(&g, &mis, 1));
+        assert!(checks::is_independent_set(&g, &mis), "case {case}");
+        assert!(checks::is_dominating_set(&g, &mis), "case {case}");
+        assert!(checks::is_maximal_independent_set(&g, &mis), "case {case}");
+        assert!(checks::is_k_ruling_set(&g, &mis, 1), "case {case}");
     }
+}
 
-    #[test]
-    fn filter_vertices_drops_only_touching_edges(g in arb_gnp()) {
+#[test]
+fn filter_vertices_drops_only_touching_edges() {
+    for case in 0..CASES {
+        let (g, _) = gnp_case(case);
         let f = ops::filter_vertices(&g, |v| v.raw() % 2 == 0);
-        prop_assert_eq!(f.node_count(), g.node_count());
+        assert_eq!(f.node_count(), g.node_count(), "case {case}");
         for (u, v) in f.edges() {
-            prop_assert!(u.raw() % 2 == 0 && v.raw() % 2 == 0);
-            prop_assert!(g.has_edge(u, v));
+            assert!(u.raw() % 2 == 0 && v.raw() % 2 == 0, "case {case}");
+            assert!(g.has_edge(u, v), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn regular_generator_is_regular(idx in 0usize..20, seed in 0u64..50) {
-        let configs = [(10, 3), (20, 4), (15, 2), (30, 5), (12, 6)];
-        let (n, d) = configs[idx % configs.len()];
+#[test]
+fn regular_generator_is_regular() {
+    let configs = [(10, 3), (20, 4), (15, 2), (30, 5), (12, 6)];
+    for case in 0..20u64 {
+        let (n, d) = configs[case as usize % configs.len()];
         // ensure even product
         let d = if n * d % 2 == 1 { d - 1 } else { d };
-        let g = generators::random_regular(n, d, seed);
-        prop_assert!(g.nodes().all(|v| g.degree(v) == d));
+        for seed in 0..5 {
+            let g = generators::random_regular(n, d, case * 7 + seed);
+            assert!(g.nodes().all(|v| g.degree(v) == d), "case {case} seed {seed}");
+        }
     }
 }

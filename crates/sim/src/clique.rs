@@ -7,11 +7,112 @@
 //! encoded size), and calls [`CliqueRound::deliver`], which advances the
 //! global clock and returns per-node inboxes.
 
-use std::collections::HashMap;
-
 use cc_mis_graph::NodeId;
 
 use crate::metrics::{BandwidthError, RoundLedger};
+
+/// Map from packed `(src, dst)` keys to cumulative bits, used for per-round
+/// budget enforcement. `send` is called once per message — on dense instances
+/// that is one call per graph edge per round — so this sits on the
+/// simulator's hottest path.
+///
+/// Every round loop in the codebase enqueues messages with non-decreasing
+/// packed keys (sources ascend, each source's destinations ascend), so in the
+/// common case pair membership is a single compare against the last `log`
+/// entry and no hash table exists at all — sends touch only the tail of a
+/// sequentially written vector instead of probing a multi-megabyte table.
+/// The Fibonacci-hashed linear-probe index is built lazily the first time a
+/// round sends out of key order and maps keys to `log` positions thereafter.
+#[derive(Debug, Default)]
+pub(crate) struct PairBits {
+    /// One `(packed key, cumulative bits)` entry per distinct pair seen this
+    /// round, in arrival order.
+    log: Vec<(u64, u64)>,
+    /// Lazily built probe table over packed keys; `u64::MAX` marks an empty
+    /// slot (unreachable as a real key because `src == dst` is rejected).
+    keys: Vec<u64>,
+    /// `log` position for each occupied `keys` slot.
+    idxs: Vec<u32>,
+}
+
+const PAIR_EMPTY: u64 = u64::MAX;
+
+impl PairBits {
+    pub(crate) fn new() -> Self {
+        PairBits::default()
+    }
+
+    #[inline]
+    fn slot(keys: &[u64], key: u64) -> usize {
+        // Fibonacci hashing; table capacity is a power of two.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - keys.len().trailing_zeros())) as usize
+    }
+
+    /// The pair's cumulative-bits cell, inserted as 0 if absent — the
+    /// caller checks the budget before committing the new total, so a
+    /// rejected send consumes none of the pair's budget.
+    #[inline]
+    pub(crate) fn entry_or_zero(&mut self, key: u64) -> &mut u64 {
+        if self.keys.is_empty() {
+            match self.log.last() {
+                Some(&(last, _)) if key < last => self.build_table(),
+                Some(&(last, _)) if key == last => {
+                    return &mut self.log.last_mut().unwrap().1;
+                }
+                _ => {
+                    self.log.push((key, 0));
+                    return &mut self.log.last_mut().unwrap().1;
+                }
+            }
+        }
+        self.lookup(key)
+    }
+
+    /// Table-mode path: probe for `key`, appending a fresh zero entry on miss.
+    fn lookup(&mut self, key: u64) -> &mut u64 {
+        if self.log.len() * 4 >= self.keys.len() * 3 {
+            self.rebuild(self.keys.len() * 2);
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = Self::slot(&self.keys, key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                let at = self.idxs[i] as usize;
+                return &mut self.log[at].1;
+            }
+            if k == PAIR_EMPTY {
+                self.keys[i] = key;
+                self.idxs[i] = self.log.len() as u32;
+                self.log.push((key, 0));
+                return &mut self.log.last_mut().unwrap().1;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Leaves the monotone fast path: index every pair logged so far.
+    #[cold]
+    fn build_table(&mut self) {
+        self.rebuild(((self.log.len() + 1) * 2).next_power_of_two().max(64));
+    }
+
+    #[cold]
+    fn rebuild(&mut self, cap: usize) {
+        self.keys = vec![PAIR_EMPTY; cap];
+        self.idxs = vec![0; cap];
+        let mask = cap - 1;
+        for (at, &(k, _)) in self.log.iter().enumerate() {
+            let mut i = Self::slot(&self.keys, k);
+            while self.keys[i] != PAIR_EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = k;
+            self.idxs[i] = at as u32;
+        }
+    }
+}
 
 /// Enforcement mode for bandwidth budgets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,7 +200,7 @@ impl CliqueEngine {
         CliqueRound {
             engine: self,
             outbox: Vec::new(),
-            pair_bits: HashMap::new(),
+            pair_bits: PairBits::new(),
         }
     }
 
@@ -116,7 +217,7 @@ impl CliqueEngine {
 pub struct CliqueRound<'a, M> {
     engine: &'a mut CliqueEngine,
     outbox: Vec<(NodeId, NodeId, M)>,
-    pair_bits: HashMap<(u32, u32), u64>,
+    pair_bits: PairBits,
 }
 
 impl<'a, M> CliqueRound<'a, M> {
@@ -136,7 +237,9 @@ impl<'a, M> CliqueRound<'a, M> {
                 dst: dst.raw(),
             });
         }
-        let used = self.pair_bits.entry((src.raw(), dst.raw())).or_insert(0);
+        let used = self
+            .pair_bits
+            .entry_or_zero((u64::from(src.raw()) << 32) | u64::from(dst.raw()));
         let attempted = *used + bits;
         if attempted > self.engine.bandwidth {
             match self.engine.enforcement {
@@ -165,7 +268,13 @@ impl<'a, M> CliqueRound<'a, M> {
     /// Closes the round: advances the clock and returns, for each node, the
     /// list of `(sender, message)` pairs it received, sorted by sender.
     pub fn deliver(self) -> Vec<Vec<(NodeId, M)>> {
-        let mut inboxes: Vec<Vec<(NodeId, M)>> = (0..self.engine.n).map(|_| Vec::new()).collect();
+        // Pre-size each inbox so scattered pushes never reallocate.
+        let mut counts = vec![0usize; self.engine.n];
+        for (_, dst, _) in &self.outbox {
+            counts[dst.index()] += 1;
+        }
+        let mut inboxes: Vec<Vec<(NodeId, M)>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for (src, dst, msg) in self.outbox {
             inboxes[dst.index()].push((src, msg));
         }
@@ -215,6 +324,24 @@ mod tests {
             assert_eq!(inbox.len(), n - 1, "inbox of {j}");
         }
         assert_eq!(e.ledger().rounds, 1);
+    }
+
+    #[test]
+    fn out_of_order_sends_share_one_budget_per_pair() {
+        let mut e = CliqueEngine::strict(4, 16);
+        let mut r = e.begin_round::<u8>();
+        r.send(NodeId::new(0), NodeId::new(1), 8, 1).unwrap();
+        r.send(NodeId::new(2), NodeId::new(3), 8, 2).unwrap();
+        // Out of key order: forces the probe-table fallback, which must
+        // still see the earlier (0, 1) tally.
+        r.send(NodeId::new(0), NodeId::new(1), 8, 3).unwrap();
+        let err = r.send(NodeId::new(0), NodeId::new(1), 1, 4).unwrap_err();
+        assert!(matches!(err, BandwidthError::Exceeded { attempted: 17, budget: 16, .. }));
+        // A pair first seen after the fallback still gets a fresh budget.
+        r.send(NodeId::new(1), NodeId::new(0), 16, 5).unwrap();
+        let inboxes = r.deliver();
+        assert_eq!(inboxes[1].len(), 2);
+        assert_eq!(inboxes[0].len(), 1);
     }
 
     #[test]

@@ -4,11 +4,9 @@
 //! messages may only travel along edges of the input graph (§1 of the
 //! paper, model (1)).
 
-use std::collections::HashMap;
-
 use cc_mis_graph::{Graph, NodeId};
 
-use crate::clique::Enforcement;
+use crate::clique::{Enforcement, PairBits};
 use crate::metrics::{BandwidthError, RoundLedger};
 
 /// Simulator of the CONGEST model over a fixed communication graph.
@@ -90,7 +88,7 @@ impl<'g> CongestEngine<'g> {
         CongestRound {
             engine: self,
             outbox: Vec::new(),
-            edge_bits: HashMap::new(),
+            edge_bits: PairBits::new(),
         }
     }
 
@@ -105,7 +103,7 @@ impl<'g> CongestEngine<'g> {
 pub struct CongestRound<'a, 'g, M> {
     engine: &'a mut CongestEngine<'g>,
     outbox: Vec<(NodeId, NodeId, M)>,
-    edge_bits: HashMap<(u32, u32), u64>,
+    edge_bits: PairBits,
 }
 
 impl<'a, 'g, M: Clone> CongestRound<'a, 'g, M> {
@@ -142,7 +140,9 @@ impl<'a, 'g, M> CongestRound<'a, 'g, M> {
                 dst: dst.raw(),
             });
         }
-        let used = self.edge_bits.entry((src.raw(), dst.raw())).or_insert(0);
+        let used = self
+            .edge_bits
+            .entry_or_zero((u64::from(src.raw()) << 32) | u64::from(dst.raw()));
         let attempted = *used + bits;
         if attempted > self.engine.bandwidth {
             match self.engine.enforcement {
@@ -166,8 +166,13 @@ impl<'a, 'g, M> CongestRound<'a, 'g, M> {
     /// Closes the round: advances the clock and returns per-node inboxes,
     /// each sorted by sender.
     pub fn deliver(self) -> Vec<Vec<(NodeId, M)>> {
+        // Pre-size each inbox so scattered pushes never reallocate.
+        let mut counts = vec![0usize; self.engine.graph.node_count()];
+        for (_, dst, _) in &self.outbox {
+            counts[dst.index()] += 1;
+        }
         let mut inboxes: Vec<Vec<(NodeId, M)>> =
-            (0..self.engine.graph.node_count()).map(|_| Vec::new()).collect();
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for (src, dst, msg) in self.outbox {
             inboxes[dst.index()].push((src, msg));
         }

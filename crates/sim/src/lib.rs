@@ -53,8 +53,10 @@ pub mod bits;
 pub mod clique;
 pub mod congest;
 pub mod metrics;
+pub mod par_nodes;
 pub mod routing;
 pub mod rng;
 
 pub use metrics::{BandwidthError, RoundLedger};
+pub use par_nodes::par_map_nodes;
 pub use rng::SharedRandomness;

@@ -7,10 +7,9 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A per-phase slice of the ledger, labeled by the algorithm.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseRecord {
     /// Human-readable phase label (e.g. `"phase 3: exponentiation"`).
     pub label: String,
@@ -37,7 +36,7 @@ pub struct PhaseRecord {
 /// assert_eq!(ledger.bits, 32);
 /// assert_eq!(ledger.phases[0].label, "setup");
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoundLedger {
     /// Total synchronous rounds elapsed.
     pub rounds: u64,

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Wall-clock benchmarks -> results/bench_<exp>.json.
+#
+# Two layers:
+#   1. the harness benches (per-operation timings; each group appends one
+#      JSON line via BENCH_JSON — see crates/bench/src/harness.rs);
+#   2. end-to-end experiment timings for the perf-sensitive experiments
+#      (e1, e7), reported as the minimum of $SAMPLES runs.
+#
+# BENCH_SAMPLES controls harness sample counts; SAMPLES (default 3) the
+# end-to-end repetitions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+SAMPLES="${SAMPLES:-3}"
+
+cargo build --release --workspace
+
+for bench in engines mis_algorithms; do
+  out="results/bench_${bench}.json"
+  : > "$out"
+  # Absolute path: cargo runs bench binaries from the crate directory.
+  BENCH_JSON="$PWD/$out" cargo bench -p cc-mis-bench --bench "$bench"
+done
+
+for exp in e1_headline e7_exponentiation; do
+  bin="target/release/${exp}"
+  best=""
+  for _ in $(seq "$SAMPLES"); do
+    t0=$(date +%s%N)
+    "$bin" > /dev/null
+    dt=$(( $(date +%s%N) - t0 ))
+    if [ -z "$best" ] || [ "$dt" -lt "$best" ]; then best=$dt; fi
+  done
+  printf '{"group":"%s","results":[{"name":"%s/end_to_end","samples":%d,"min_ns":%d}]}\n' \
+    "$exp" "$exp" "$SAMPLES" "$best" > "results/bench_${exp}.json"
+  echo "results/bench_${exp}.json: min ${best} ns over ${SAMPLES} runs"
+done

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: offline build, the full test suite, and a lint-clean tree.
+# Everything must pass before a change lands (see ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --all-targets
+cargo test --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+echo "tier1: OK"
