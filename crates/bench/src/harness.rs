@@ -70,6 +70,7 @@ impl Harness {
         std::hint::black_box(f());
         let mut times: Vec<u64> = (0..self.samples)
             .map(|_| {
+                // conform: allow(R3) -- wall-clock timing harness measures real elapsed time; nothing simulated or charged depends on it
                 let start = Instant::now();
                 std::hint::black_box(f());
                 start.elapsed().as_nanos() as u64

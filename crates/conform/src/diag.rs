@@ -1,0 +1,102 @@
+//! Findings and stable diagnostic rendering.
+
+use cc_mis_analysis::json::Json;
+
+/// One conformance finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (or fixture effective path).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (`R1`..`R8`, or `P1` for pragma violations).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(path: &str, line: usize, rule: &'static str, message: impl Into<String>) -> Self {
+        Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+
+    /// The stable one-line diagnostic form: `file:line rule-id message`.
+    pub fn render(&self) -> String {
+        format!("{}:{} {} {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Sorts findings into the stable output order (path, line, rule).
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+}
+
+/// Renders findings as a JSON document (via the workspace's dependency-free
+/// writer): `{"findings": [...], "count": N}`.
+pub fn to_json(findings: &[Finding]) -> String {
+    let items: Vec<Json> = findings
+        .iter()
+        .map(|f| {
+            Json::obj(vec![
+                ("path", Json::Str(f.path.clone())),
+                ("line", Json::UInt(f.line as u64)),
+                ("rule", Json::Str(f.rule.to_string())),
+                ("message", Json::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("findings", Json::Arr(items)),
+        ("count", Json::UInt(findings.len() as u64)),
+    ])
+    .render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_stable_file_line_rule_message() {
+        let f = Finding::new("crates/x/src/a.rs", 7, "R1", "no hash iteration");
+        assert_eq!(f.render(), "crates/x/src/a.rs:7 R1 no hash iteration");
+    }
+
+    #[test]
+    fn sort_orders_by_path_then_line_then_rule() {
+        let mut v = vec![
+            Finding::new("b.rs", 1, "R1", "m"),
+            Finding::new("a.rs", 9, "R5", "m"),
+            Finding::new("a.rs", 9, "R2", "m"),
+            Finding::new("a.rs", 2, "R8", "m"),
+        ];
+        sort(&mut v);
+        let order: Vec<(String, usize, &str)> =
+            v.iter().map(|f| (f.path.clone(), f.line, f.rule)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".to_string(), 2, "R8"),
+                ("a.rs".to_string(), 9, "R2"),
+                ("a.rs".to_string(), 9, "R5"),
+                ("b.rs".to_string(), 1, "R1"),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_document_has_findings_and_count() {
+        let v = vec![Finding::new("a.rs", 1, "R3", "no ambient time")];
+        let doc = to_json(&v);
+        assert!(doc.contains("\"count\": 1"));
+        assert!(doc.contains("\"rule\": \"R3\""));
+    }
+}

@@ -1,0 +1,176 @@
+//! `cc-mis-conform` — the in-tree conformance linter.
+//!
+//! PR 1 made the simulators fast by leaning on contracts nothing enforced
+//! mechanically: `par_nodes` runs bit-identical to sequential, f64
+//! accumulation orders are preserved, round/bit/message charges are
+//! byte-identical across engines, and the workspace builds with zero
+//! registry access. The paper's guarantees (the Lemma 2.12/2.14 bandwidth
+//! bounds, the `O(log n)`-bit congested-clique message limit) only hold in
+//! this reproduction while every hot-path edit respects those invariants —
+//! so this crate enforces them the way production stacks do: a linter in
+//! the tier-1 gate, not a review checklist.
+//!
+//! The linter is deliberately **zero-dependency and lexical** (no dylint,
+//! no rustc internals, no registry crates): a line/token scanner
+//! ([`scanner`]), a rule set ([`rules`], R1–R8), and a justified-pragma
+//! escape hatch ([`pragma`]). Diagnostics are stable
+//! `file:line rule-id message` lines ([`diag`]), with `--json` output via
+//! `cc_mis_analysis::json`.
+//!
+//! Run it with `cargo run -p cc-mis-conform -- --workspace` (or
+//! `scripts/conform.sh`); the process exits nonzero on any finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod pragma;
+pub mod rules;
+pub mod scanner;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use diag::Finding;
+
+/// An input to the checker: a path (used for scoping/diagnostics unless the
+/// file carries a `conform-fixture:` override) plus its contents.
+#[derive(Debug, Clone)]
+pub struct Input {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// Checks a set of inputs (`.rs` sources and `Cargo.toml` manifests) and
+/// returns the sorted findings. This is the engine behind the CLI; tests
+/// drive it directly with fixture inputs.
+pub fn check(inputs: &[Input]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let sources: Vec<scanner::SourceFile> = inputs
+        .iter()
+        .filter(|i| i.path.ends_with(".rs"))
+        .map(|i| scanner::scan_str(&i.path, &i.text))
+        .collect();
+    let counters = rules::declared_counters(&sources);
+    for file in &sources {
+        let mut file_findings = Vec::new();
+        rules::check_file(file, &counters, &mut file_findings);
+        let pragmas = pragma::collect(file, &mut findings);
+        file_findings.retain(|f| !pragma::suppressed(&pragmas, f.rule, f.line));
+        findings.append(&mut file_findings);
+    }
+    for input in inputs.iter().filter(|i| i.path.ends_with(".toml")) {
+        rules::check_manifest(&input.path, &input.text, &mut findings);
+    }
+    diag::sort(&mut findings);
+    findings
+}
+
+/// Walks the workspace at `root` and checks every tracked `.rs` source and
+/// `Cargo.toml`. Skips `target/`, `.git/`, `results/`, and the linter's own
+/// `tests/fixtures/` trees (fixtures deliberately violate rules).
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut paths = Vec::new();
+    collect_paths(root, root, &mut paths)?;
+    paths.sort();
+    let mut inputs = Vec::with_capacity(paths.len());
+    for rel in paths {
+        let text = fs::read_to_string(root.join(&rel))?;
+        inputs.push(Input { path: rel, text });
+    }
+    Ok(check(&inputs))
+}
+
+fn collect_paths(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | ".git" | "results" | "fixtures") {
+                continue;
+            }
+            collect_paths(root, &path, out)?;
+        } else if name == "Cargo.toml" || name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(path: &str, text: &str) -> Input {
+        Input {
+            path: path.to_string(),
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn clean_input_has_no_findings() {
+        let findings = check(&[rs(
+            "crates/core/src/x.rs",
+            "//! Docs.\npub fn f() -> u32 { 1 }\n",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn pragma_suppresses_next_line_finding() {
+        let src = "// conform: allow(R1) -- demo of the escape hatch\n\
+                   use std::collections::HashMap;\n";
+        assert!(check(&[rs("crates/core/src/x.rs", src)]).is_empty());
+        let unsuppressed = "use std::collections::HashMap;\n";
+        assert_eq!(check(&[rs("crates/core/src/x.rs", unsuppressed)]).len(), 1);
+    }
+
+    #[test]
+    fn unjustified_pragma_does_not_suppress_and_is_reported() {
+        let src = "// conform: allow(R1)\nuse std::collections::HashMap;\n";
+        let findings = check(&[rs("crates/core/src/x.rs", src)]);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"P1"), "{findings:?}");
+        assert!(rules.contains(&"R1"), "{findings:?}");
+    }
+
+    #[test]
+    fn findings_are_sorted_and_stable() {
+        let src = "use std::collections::HashMap;\nlet x = opt.unwrap();\n";
+        let findings = check(&[rs("crates/sim/src/x.rs", src)]);
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].line <= findings[1].line);
+        assert!(findings[0].render().starts_with("crates/sim/src/x.rs:1 R1"));
+    }
+}

@@ -1,0 +1,118 @@
+//! `cc-mis-conform` — command-line front end for the conformance linter.
+//!
+//! ```text
+//! cc-mis-conform --workspace            # lint the whole workspace (default)
+//! cc-mis-conform --workspace --json     # machine-readable findings
+//! cc-mis-conform --list-rules           # print the rule set
+//! cc-mis-conform --root DIR [PATH...]   # lint specific files/dirs under DIR
+//! ```
+//!
+//! Exits 0 on a conform-clean tree, 1 on any finding, 2 on usage or I/O
+//! errors. Diagnostics are stable `file:line rule-id message` lines.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cc_mis_conform::{check, check_workspace, diag, find_workspace_root, rules, Input};
+
+const USAGE: &str = "usage: cc-mis-conform [--workspace] [--json] [--list-rules] [--root DIR] [PATH...]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag `{other}`"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    if list_rules {
+        for rule in rules::RULES {
+            println!("{:3}  {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let findings = if paths.is_empty() {
+        let start = root.clone().unwrap_or_else(|| PathBuf::from("."));
+        let Some(ws) = find_workspace_root(&start) else {
+            eprintln!("error: no workspace root (Cargo.toml with [workspace]) at or above {}",
+                start.display());
+            return ExitCode::from(2);
+        };
+        match check_workspace(&ws) {
+            Ok(findings) => findings,
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let base = root.unwrap_or_else(|| PathBuf::from("."));
+        match read_inputs(&base, &paths) {
+            Ok(inputs) => check(&inputs),
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    if json {
+        print!("{}", diag::to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        if findings.is_empty() {
+            eprintln!("conform: clean");
+        } else {
+            eprintln!("conform: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Reads explicit file arguments (relative to `base` unless absolute).
+fn read_inputs(base: &Path, paths: &[PathBuf]) -> std::io::Result<Vec<Input>> {
+    let mut inputs = Vec::new();
+    for p in paths {
+        let full = if p.is_absolute() { p.clone() } else { base.join(p) };
+        let text = std::fs::read_to_string(&full)?;
+        inputs.push(Input {
+            path: p.to_string_lossy().replace('\\', "/"),
+            text,
+        });
+    }
+    Ok(inputs)
+}

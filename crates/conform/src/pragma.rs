@@ -1,0 +1,138 @@
+//! The conformance allow-pragma grammar.
+//!
+//! A finding may be suppressed in place with a justified pragma comment:
+//!
+//! ```text
+//! // conform: allow(R3) -- wall-clock harness, not a charged path
+//! let start = Instant::now();
+//! ```
+//!
+//! Grammar: after the `conform` marker and a colon, `allow(<rule>[, <rule>...])`
+//! followed by ` -- <justification>`. The justification is **mandatory** — an allow with no reason is itself a
+//! conformance finding (`P1`), as is an allow naming an unknown rule. A
+//! pragma applies to its own line and the immediately following line.
+
+use crate::diag::Finding;
+use crate::rules::rule_exists;
+use crate::scanner::SourceFile;
+
+/// A parsed, validated pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line the pragma appears on.
+    pub line: usize,
+    /// Rules the pragma suppresses.
+    pub rules: Vec<String>,
+}
+
+/// Extracts pragmas from `file`'s comment channel. Malformed or
+/// unjustified pragmas are reported into `findings` (rule `P1`) and do not
+/// suppress anything.
+pub fn collect(file: &SourceFile, findings: &mut Vec<Finding>) -> Vec<Pragma> {
+    let mut pragmas = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let Some(at) = line.comment.find("conform:") else {
+            continue;
+        };
+        let lineno = idx + 1;
+        let body = line.comment[at + "conform:".len()..].trim();
+        match parse(body) {
+            Ok(rules) => pragmas.push(Pragma { line: lineno, rules }),
+            Err(msg) => findings.push(Finding::new(&file.effective, lineno, "P1", msg)),
+        }
+    }
+    pragmas
+}
+
+/// Parses `allow(<rules>) -- <justification>`, returning the rule list.
+fn parse(body: &str) -> Result<Vec<String>, String> {
+    let rest = body.strip_prefix("allow").ok_or_else(|| {
+        "malformed conform pragma: expected `conform: allow(<rule>) -- <justification>`"
+            .to_string()
+    })?;
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or("malformed conform pragma: missing `(` after `allow`")?;
+    let close = rest
+        .find(')')
+        .ok_or("malformed conform pragma: missing `)`")?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("conform pragma allows no rules".to_string());
+    }
+    for r in &rules {
+        if !rule_exists(r) {
+            return Err(format!("conform pragma names unknown rule `{r}`"));
+        }
+    }
+    let after = rest[close + 1..].trim_start();
+    let justification = after.strip_prefix("--").map(str::trim).unwrap_or("");
+    if justification.is_empty() {
+        return Err(
+            "conform pragma requires a justification: `conform: allow(<rule>) -- <why>`"
+                .to_string(),
+        );
+    }
+    Ok(rules)
+}
+
+/// True if `pragmas` suppress `rule` at 1-based line `lineno` (a pragma
+/// covers its own line and the next one).
+pub fn suppressed(pragmas: &[Pragma], rule: &str, lineno: usize) -> bool {
+    pragmas.iter().any(|p| {
+        (p.line == lineno || p.line + 1 == lineno) && p.rules.iter().any(|r| r == rule)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan_str;
+
+    fn pragmas_of(src: &str) -> (Vec<Pragma>, Vec<Finding>) {
+        let f = scan_str("crates/core/src/x.rs", src);
+        let mut findings = Vec::new();
+        let p = collect(&f, &mut findings);
+        (p, findings)
+    }
+
+    #[test]
+    fn justified_pragma_parses() {
+        let (p, f) = pragmas_of("// conform: allow(R1, R5) -- test scaffolding only\n");
+        assert!(f.is_empty());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rules, vec!["R1", "R5"]);
+        assert!(suppressed(&p, "R5", 1));
+        assert!(suppressed(&p, "R5", 2));
+        assert!(!suppressed(&p, "R5", 3));
+        assert!(!suppressed(&p, "R2", 2));
+    }
+
+    #[test]
+    fn missing_justification_is_a_finding() {
+        let (p, f) = pragmas_of("// conform: allow(R1)\n");
+        assert!(p.is_empty());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "P1");
+        assert!(f[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_finding() {
+        let (p, f) = pragmas_of("// conform: allow(R99) -- because\n");
+        assert!(p.is_empty());
+        assert!(f[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn malformed_pragma_is_a_finding() {
+        let (p, f) = pragmas_of("// conform: disallow(R1) -- x\n");
+        assert!(p.is_empty());
+        assert_eq!(f[0].rule, "P1");
+    }
+}

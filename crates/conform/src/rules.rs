@@ -1,0 +1,444 @@
+//! The conformance rule set.
+//!
+//! Each rule enforces one contract the reproduction's guarantees rest on
+//! (see DESIGN.md §8 for the rule ↔ contract table). Rules are lexical:
+//! they run over the scanner's code channel, so comments, doc-examples,
+//! and string contents never trip them, and most rules skip test code
+//! (the contracts bind the simulation, not its assertions).
+
+use crate::diag::Finding;
+use crate::scanner::{Line, SourceFile};
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable id used in diagnostics and pragmas.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// All rules, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "R1",
+        summary: "no HashMap/HashSet in node-simulation library code (crates/core, crates/sim): \
+                  unordered iteration breaks deterministic replay",
+    },
+    RuleInfo {
+        id: "R2",
+        summary: "no std::thread outside crates/sim/src/par_nodes.rs: all parallelism flows \
+                  through the deterministic node pool",
+    },
+    RuleInfo {
+        id: "R3",
+        summary: "no ambient nondeterminism (thread_rng, SystemTime::now, Instant::now, \
+                  RandomState) in library code: randomness must flow through seeded rng modules",
+    },
+    RuleInfo {
+        id: "R4",
+        summary: "every crate root (src/lib.rs, src/main.rs) carries #![forbid(unsafe_code)]",
+    },
+    RuleInfo {
+        id: "R5",
+        summary: "no unwrap()/short expect() in crates/core and crates/sim library code: \
+                  panics must name the violated invariant",
+    },
+    RuleInfo {
+        id: "R6",
+        summary: "ledger charges go through counters declared in crates/sim/src/metrics.rs; \
+                  no direct += on ledger counter fields elsewhere",
+    },
+    RuleInfo {
+        id: "R7",
+        summary: "engine bandwidth arguments in library code reference the named O(log n) \
+                  word-size constants (cc_mis_sim::bits), never magic literals",
+    },
+    RuleInfo {
+        id: "R8",
+        summary: "no registry dependencies in any Cargo.toml: every entry must be a path or \
+                  workspace dependency (offline-build guard)",
+    },
+    RuleInfo {
+        id: "P1",
+        summary: "conform pragmas must be well-formed, name known rules, and carry a \
+                  justification",
+    },
+];
+
+/// True if `id` names a rule (usable in a pragma).
+pub fn rule_exists(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+fn in_sim_core(path: &str) -> bool {
+    path.starts_with("crates/core/src") || path.starts_with("crates/sim/src")
+}
+
+fn is_metrics(path: &str) -> bool {
+    path == "crates/sim/src/metrics.rs"
+}
+
+fn is_par_nodes(path: &str) -> bool {
+    path == "crates/sim/src/par_nodes.rs"
+}
+
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("src/lib.rs") || path.ends_with("src/main.rs")
+}
+
+/// Extracts the `charge_*` counter names declared (`fn charge_x`) in
+/// `metrics.rs`-scanned files.
+pub fn declared_counters(files: &[SourceFile]) -> Vec<String> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| is_metrics(&f.effective)) {
+        for line in &f.lines {
+            let mut rest = line.code.as_str();
+            while let Some(at) = rest.find("fn charge_") {
+                let ident_start = at + "fn ".len();
+                let name: String = rest[ident_start..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() && !out.contains(&name) {
+                    out.push(name);
+                }
+                rest = &rest[ident_start..];
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Runs rules R1–R7 over one scanned file, appending findings.
+pub fn check_file(file: &SourceFile, counters: &[String], findings: &mut Vec<Finding>) {
+    let path = file.effective.as_str();
+    let mut has_forbid = false;
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = line.code.as_str();
+        if code.contains("#![forbid(unsafe_code)]") {
+            has_forbid = true;
+        }
+        if line.in_test {
+            continue;
+        }
+
+        // R1 — deterministic collections in simulation code.
+        if in_sim_core(path) {
+            for pat in ["HashMap", "HashSet", "hash_map::", "hash_set::"] {
+                if code.contains(pat) {
+                    findings.push(Finding::new(
+                        path,
+                        lineno,
+                        "R1",
+                        format!(
+                            "`{pat}` in node-simulation code: unordered iteration breaks the \
+                             deterministic-replay contract; use BTreeMap/BTreeSet or an \
+                             index-based Vec"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        // R2 — parallelism flows through the deterministic node pool.
+        if !is_par_nodes(path) {
+            for pat in ["std::thread", "thread::spawn(", "thread::scope(", "thread::Builder"] {
+                if code.contains(pat) {
+                    findings.push(Finding::new(
+                        path,
+                        lineno,
+                        "R2",
+                        format!(
+                            "`{pat}` outside crates/sim/src/par_nodes.rs: all parallelism must \
+                             go through par_map_nodes so runs stay bit-identical to sequential"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        // R3 — no ambient nondeterminism in library code.
+        for pat in [
+            "thread_rng",
+            "SystemTime::now",
+            "Instant::now",
+            "rand::random",
+            "RandomState",
+            "from_entropy",
+        ] {
+            if code.contains(pat) {
+                findings.push(Finding::new(
+                    path,
+                    lineno,
+                    "R3",
+                    format!(
+                        "`{pat}` is ambient nondeterminism: all randomness and time must flow \
+                         through the seeded rng modules so (seed, graph, params) fixes the run"
+                    ),
+                ));
+                break;
+            }
+        }
+
+        // R5 — panics must state the violated invariant.
+        if in_sim_core(path) {
+            if code.contains(".unwrap()") {
+                findings.push(Finding::new(
+                    path,
+                    lineno,
+                    "R5",
+                    "bare `unwrap()` in library code: use `expect(\"<invariant>\")` or a typed \
+                     error so a panic names the broken invariant",
+                ));
+            }
+            if let Some(msg) = short_expect_message(line) {
+                findings.push(Finding::new(
+                    path,
+                    lineno,
+                    "R5",
+                    format!("`expect(\"{msg}\")` message too short to state an invariant"),
+                ));
+            }
+        }
+
+        // R6 — charges go through declared counters; no direct field bumps.
+        if !is_metrics(path) {
+            if !counters.is_empty() {
+                for name in charge_calls(code) {
+                    if !counters.contains(&name) {
+                        findings.push(Finding::new(
+                            path,
+                            lineno,
+                            "R6",
+                            format!(
+                                "`{name}()` is not declared in crates/sim/src/metrics.rs: \
+                                 stale or ad-hoc counter (declared: {})",
+                                counters.join(", ")
+                            ),
+                        ));
+                    }
+                }
+            }
+            if in_sim_core(path) {
+                for pat in [".rounds +=", ".messages +=", ".bits +=", ".violations +="] {
+                    if code.contains(pat) {
+                        findings.push(Finding::new(
+                            path,
+                            lineno,
+                            "R6",
+                            format!(
+                                "direct `{pat}` on a ledger counter bypasses the charge_* API; \
+                                 add or use a RoundLedger method so charges stay byte-identical \
+                                 and auditable"
+                            ),
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+
+        // R7 — engine bandwidth must reference named constants.
+        check_bandwidth_literals(file, idx, findings);
+    }
+
+    // R4 — crate roots forbid unsafe code.
+    if is_crate_root(path) && !has_forbid && !file.lines.is_empty() {
+        findings.push(Finding::new(
+            path,
+            1,
+            "R4",
+            "crate root is missing `#![forbid(unsafe_code)]`",
+        ));
+    }
+}
+
+/// Yields the names of `.charge_*()` method calls in `code`.
+fn charge_calls(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = code;
+    while let Some(at) = rest.find(".charge_") {
+        let ident_start = at + 1;
+        let name: String = rest[ident_start..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if rest[ident_start + name.len()..].starts_with('(') {
+            out.push(name);
+        }
+        rest = &rest[ident_start..];
+    }
+    out
+}
+
+/// If the line calls `.expect("...")` with a string literal shorter than 4
+/// characters, returns the literal (from the raw channel, where string
+/// contents survive).
+fn short_expect_message(line: &Line) -> Option<String> {
+    let at = line.code.find(".expect(\"")?;
+    // The code channel blanks string contents, so the literal must be read
+    // from the raw text at its own offset.
+    let raw_at = line.raw.find(".expect(\"")?;
+    let _ = at;
+    let msg_start = raw_at + ".expect(\"".len();
+    let rest = &line.raw[msg_start..];
+    let close = rest.find('"')?;
+    let msg = &rest[..close];
+    (msg.chars().count() < 4).then(|| msg.to_string())
+}
+
+const ENGINE_CTORS: &[&str] = &[
+    "CliqueEngine::strict(",
+    "CliqueEngine::audit(",
+    "CliqueEngine::new(",
+    "CongestEngine::strict(",
+    "CongestEngine::audit(",
+    "CongestEngine::new(",
+];
+
+/// R7: flags engine constructions whose bandwidth argument is a bare
+/// integer literal (library code in crates/core and crates/sim only).
+fn check_bandwidth_literals(file: &SourceFile, idx: usize, findings: &mut Vec<Finding>) {
+    let path = file.effective.as_str();
+    if !in_sim_core(path) {
+        return;
+    }
+    let code = file.lines[idx].code.as_str();
+    for pat in ENGINE_CTORS {
+        let Some(at) = code.find(pat) else { continue };
+        // Join up to 3 following lines so multi-line constructor calls
+        // still parse; the args end at the matching close paren.
+        let mut text = code[at + pat.len()..].to_string();
+        for follow in file.lines.iter().skip(idx + 1).take(3) {
+            text.push(' ');
+            text.push_str(&follow.code);
+        }
+        let Some(args) = top_level_args(&text) else { continue };
+        if let Some(bandwidth) = args.get(1) {
+            let b = bandwidth.trim().trim_end_matches("u64").trim_end_matches('_');
+            if !b.is_empty() && b.chars().all(|c| c.is_ascii_digit() || c == '_') {
+                findings.push(Finding::new(
+                    path,
+                    idx + 1,
+                    "R7",
+                    format!(
+                        "magic bandwidth literal `{b}` in `{}`: reference the named O(log n) \
+                         word-size constants (cc_mis_sim::bits::standard_bandwidth and friends) \
+                         so the Lemma 2.12/2.14 bounds stay auditable",
+                        pat.trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Splits the text of an argument list (starting just after the opening
+/// paren) at top-level commas; returns `None` if the close paren is never
+/// found in the provided text.
+fn top_level_args(text: &str) -> Option<Vec<String>> {
+    let mut depth = 0i32;
+    let mut args = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        match c {
+            '(' | '[' | '{' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' | ']' | '}' if depth > 0 => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ')' => {
+                args.push(cur);
+                return Some(args);
+            }
+            ',' if depth == 0 => args.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    None
+}
+
+/// R8: checks one `Cargo.toml` for registry dependencies. Every entry in a
+/// dependency table must resolve in-tree (`path = …` or `workspace = true`).
+pub fn check_manifest(path: &str, text: &str, findings: &mut Vec<Finding>) {
+    #[derive(PartialEq)]
+    enum Section {
+        Deps,
+        /// `[dependencies.foo]` — judged when the section closes.
+        DepEntry { name: String, line: usize, ok: bool },
+        Other,
+    }
+    let mut section = Section::Other;
+    let close_entry = |section: &Section, findings: &mut Vec<Finding>| {
+        if let Section::DepEntry { name, line, ok } = section {
+            if !ok {
+                findings.push(registry_finding(path, *line, name));
+            }
+        }
+    };
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            close_entry(&section, findings);
+            let name = line.trim_start_matches('[').trim_end_matches(']');
+            section = if let Some(entry) = name
+                .strip_prefix("dependencies.")
+                .or_else(|| name.strip_prefix("dev-dependencies."))
+                .or_else(|| name.strip_prefix("build-dependencies."))
+                .or_else(|| name.strip_prefix("workspace.dependencies."))
+            {
+                Section::DepEntry {
+                    name: entry.to_string(),
+                    line: lineno,
+                    ok: false,
+                }
+            } else if name.ends_with("dependencies") {
+                Section::Deps
+            } else {
+                Section::Other
+            };
+            continue;
+        }
+        match &mut section {
+            Section::Deps => {
+                let Some((key, value)) = line.split_once('=') else { continue };
+                let value = value.trim();
+                if !value.contains("path") && !value.contains("workspace = true") {
+                    findings.push(registry_finding(path, lineno, key.trim()));
+                }
+            }
+            Section::DepEntry { ok, .. } => {
+                let key = line.split('=').next().unwrap_or("").trim();
+                if key == "path" || (key == "workspace" && line.contains("true")) {
+                    *ok = true;
+                }
+            }
+            Section::Other => {}
+        }
+    }
+    close_entry(&section, findings);
+}
+
+fn registry_finding(path: &str, line: usize, name: &str) -> Finding {
+    Finding::new(
+        path,
+        line,
+        "R8",
+        format!(
+            "dependency `{name}` resolves to a registry crate: the workspace must build fully \
+             offline — use a path/workspace dependency or vendor the code in-tree"
+        ),
+    )
+}

@@ -1,0 +1,8 @@
+// conform-fixture: crates/core/src/fixture_demo.rs
+//! A justified pragma suppresses findings on its own line and the next.
+
+pub fn demo() -> usize {
+    // conform: allow(R1) -- fixture demonstrating the justified escape hatch
+    let m = std::collections::HashMap::<u32, u32>::new();
+    m.len()
+}

@@ -1,0 +1,7 @@
+// conform-fixture: crates/core/src/fixture_demo.rs
+// conform: allow(R1)
+use std::collections::HashMap;
+
+pub fn demo() -> usize {
+    0
+}

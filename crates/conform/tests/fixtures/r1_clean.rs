@@ -1,0 +1,7 @@
+// conform-fixture: crates/core/src/fixture_demo.rs
+use std::collections::BTreeMap;
+
+pub fn demo() -> usize {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.len()
+}

@@ -1,0 +1,7 @@
+// conform-fixture: crates/core/src/fixture_demo.rs
+use std::collections::HashMap;
+
+pub fn demo() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}

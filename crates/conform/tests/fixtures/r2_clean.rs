@@ -1,0 +1,4 @@
+// conform-fixture: crates/sim/src/par_nodes.rs
+pub fn demo() {
+    std::thread::scope(|_s| {});
+}

@@ -1,0 +1,4 @@
+// conform-fixture: crates/core/src/fixture_demo.rs
+pub fn demo() {
+    std::thread::spawn(|| {}).join().ok();
+}

@@ -1,0 +1,4 @@
+// conform-fixture: crates/analysis/src/fixture_demo.rs
+pub fn demo(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

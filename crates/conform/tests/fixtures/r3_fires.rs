@@ -1,0 +1,6 @@
+// conform-fixture: crates/analysis/src/fixture_demo.rs
+use std::time::Instant;
+
+pub fn demo() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

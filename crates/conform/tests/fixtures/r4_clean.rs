@@ -1,0 +1,3 @@
+// conform-fixture: crates/demo/src/lib.rs
+#![forbid(unsafe_code)]
+pub fn demo() {}

@@ -1,0 +1,2 @@
+// conform-fixture: crates/demo/src/lib.rs
+pub fn demo() {}

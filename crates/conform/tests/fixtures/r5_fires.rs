@@ -1,0 +1,6 @@
+// conform-fixture: crates/sim/src/fixture_demo.rs
+pub fn demo(v: Vec<u32>) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.last().expect("ok");
+    a + b
+}

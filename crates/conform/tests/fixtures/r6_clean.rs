@@ -1,0 +1,6 @@
+// conform-fixture: crates/sim/src/fixture_demo.rs
+use crate::metrics::RoundLedger;
+
+pub fn demo(ledger: &mut RoundLedger) {
+    ledger.charge_round();
+}

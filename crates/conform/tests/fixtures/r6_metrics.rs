@@ -1,0 +1,11 @@
+// conform-fixture: crates/sim/src/metrics.rs
+pub struct RoundLedger {
+    pub rounds: u64,
+    pub bits: u64,
+}
+
+impl RoundLedger {
+    pub fn charge_round(&mut self) {
+        self.rounds += 1;
+    }
+}

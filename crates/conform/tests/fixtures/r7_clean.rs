@@ -1,0 +1,7 @@
+// conform-fixture: crates/core/src/fixture_demo.rs
+use cc_mis_sim::bits::standard_bandwidth;
+use cc_mis_sim::clique::CliqueEngine;
+
+pub fn demo(n: usize) -> CliqueEngine {
+    CliqueEngine::strict(n, standard_bandwidth(n))
+}

@@ -1,0 +1,87 @@
+//! Meta-test: the live workspace is conform-clean, and the CLI's exit
+//! codes match its contract (0 clean, 1 findings).
+
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    // crates/conform -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("manifest dir sits two levels below the workspace root")
+}
+
+#[test]
+fn live_workspace_has_no_findings() {
+    let findings = cc_mis_conform::check_workspace(workspace_root())
+        .expect("workspace sources are readable");
+    assert!(
+        findings.is_empty(),
+        "the committed tree must be conform-clean:\n{}",
+        findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn cli_workspace_scan_exits_zero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .args(["--workspace", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("linter binary runs");
+    assert!(
+        out.status.success(),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn cli_firing_fixture_exits_nonzero_with_stable_diagnostics() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/r1_fires.rs");
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .arg(&fixture)
+        .output()
+        .expect("linter binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Stable `file:line rule-id message` shape, using the effective path.
+    assert!(
+        stdout.contains("crates/core/src/fixture_demo.rs:") && stdout.contains(" R1 "),
+        "stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn cli_json_output_is_well_formed() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/r5_fires.rs");
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .arg("--json")
+        .arg(&fixture)
+        .output()
+        .expect("linter binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"findings\""), "stdout:\n{stdout}");
+    assert!(stdout.contains("\"count\": 2"), "stdout:\n{stdout}");
+    assert!(stdout.contains("\"rule\": \"R5\""), "stdout:\n{stdout}");
+}
+
+#[test]
+fn cli_list_rules_names_every_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .arg("--list-rules")
+        .output()
+        .expect("linter binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "P1"] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+}

@@ -323,8 +323,7 @@ pub fn run_ghaffari16_clique(g: &Graph, params: &Ghaffari16Params, seed: u64) ->
                     directed += 2;
                 }
             }
-            ledger.messages += directed;
-            ledger.bits += directed * (PROBABILITY_EXPONENT_BITS + 1);
+            ledger.charge_aggregate(directed, directed * (PROBABILITY_EXPONENT_BITS + 1));
         }
     }
 

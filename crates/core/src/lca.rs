@@ -165,7 +165,10 @@ impl<'g> MisOracle<'g> {
     /// case the replay is exact for unlimited iterations).
     fn probe_ball(&self, v: NodeId, radius: usize) -> (Graph, Vec<NodeId>, usize, bool) {
         let g = self.graph;
-        let mut dist = std::collections::HashMap::new();
+        // BTreeMap, not HashMap: ball probing sits on the replay path, and
+        // the deterministic-replay contract (conform R1) bans unordered
+        // iteration there.
+        let mut dist = std::collections::BTreeMap::new();
         dist.insert(v, 0usize);
         let mut queue = VecDeque::from([v]);
         let mut probes = 0usize;
@@ -178,14 +181,15 @@ impl<'g> MisOracle<'g> {
             }
             probes += 1; // one adjacency-list probe per expanded node
             for &w in g.neighbors(u) {
-                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(w) {
                     e.insert(d + 1);
                     queue.push_back(w);
                 }
             }
         }
-        let mut ids: Vec<NodeId> = dist.keys().copied().collect();
-        ids.sort_unstable();
+        // BTreeMap iteration is already id-sorted, so this is the
+        // coin-id mapping directly.
+        let ids: Vec<NodeId> = dist.keys().copied().collect();
         let local_of = |id: NodeId| ids.binary_search(&id).expect("ball node");
         let mut b = GraphBuilder::new(ids.len());
         for &u in &ids {

@@ -196,9 +196,10 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
                         .count() as u64
                 })
                 .sum();
-            ledger.messages += alive_directed_edges;
-            ledger.bits +=
-                alive_directed_edges * cc_mis_sim::bits::PROBABILITY_EXPONENT_BITS;
+            ledger.charge_aggregate(
+                alive_directed_edges,
+                alive_directed_edges * cc_mis_sim::bits::PROBABILITY_EXPONENT_BITS,
+            );
         }
         let d0 = weighted_alive_degree(g, &pexp, &alive0);
         let threshold = params.super_heavy_threshold();
@@ -266,13 +267,11 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
             // from the joiners.
             for (i, _) in beeps.iter().enumerate().filter(|(_, &b)| b) {
                 let deg = g.degree(NodeId::new(i as u32)) as u64;
-                ledger.messages += 1;
-                ledger.bits += deg;
+                ledger.charge_aggregate(1, deg);
             }
             for &i in &joins {
                 let deg = g.degree(NodeId::new(i as u32)) as u64;
-                ledger.messages += 1;
-                ledger.bits += deg;
+                ledger.charge_aggregate(1, deg);
             }
 
             // Removals (R2).

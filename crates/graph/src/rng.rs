@@ -223,8 +223,10 @@ mod tests {
 
     #[test]
     fn mix3_no_collisions_over_grid() {
-        use std::collections::HashSet;
-        let mut seen = HashSet::new();
+        // BTreeSet keeps even test code on deterministic collections
+        // (conform R1 exempts tests, but there is no reason to differ).
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
         for node in 0..64u64 {
             for round in 0..64u64 {
                 assert!(

@@ -58,11 +58,11 @@ impl PairBits {
             match self.log.last() {
                 Some(&(last, _)) if key < last => self.build_table(),
                 Some(&(last, _)) if key == last => {
-                    return &mut self.log.last_mut().unwrap().1;
+                    return &mut self.log.last_mut().expect("log tail exists: key matched it").1;
                 }
                 _ => {
                     self.log.push((key, 0));
-                    return &mut self.log.last_mut().unwrap().1;
+                    return &mut self.log.last_mut().expect("log tail exists: just pushed").1;
                 }
             }
         }
@@ -86,7 +86,7 @@ impl PairBits {
                 self.keys[i] = key;
                 self.idxs[i] = self.log.len() as u32;
                 self.log.push((key, 0));
-                return &mut self.log.last_mut().unwrap().1;
+                return &mut self.log.last_mut().expect("log tail exists: just pushed").1;
             }
             i = (i + 1) & mask;
         }
@@ -294,9 +294,9 @@ mod tests {
     fn basic_delivery_and_ordering() {
         let mut e = CliqueEngine::strict(4, 64);
         let mut r = e.begin_round::<u8>();
-        r.send(NodeId::new(3), NodeId::new(0), 8, 30).unwrap();
-        r.send(NodeId::new(1), NodeId::new(0), 8, 10).unwrap();
-        r.send(NodeId::new(2), NodeId::new(0), 8, 20).unwrap();
+        r.send(NodeId::new(3), NodeId::new(0), 8, 30).expect("send fits the per-pair budget");
+        r.send(NodeId::new(1), NodeId::new(0), 8, 10).expect("send fits the per-pair budget");
+        r.send(NodeId::new(2), NodeId::new(0), 8, 20).expect("send fits the per-pair budget");
         assert_eq!(r.pending(), 3);
         let inboxes = r.deliver();
         let senders: Vec<u32> = inboxes[0].iter().map(|(s, _)| s.raw()).collect();
@@ -315,7 +315,7 @@ mod tests {
         for i in 0..n as u32 {
             for j in 0..n as u32 {
                 if i != j {
-                    r.send(NodeId::new(i), NodeId::new(j), 16, i * 100 + j).unwrap();
+                    r.send(NodeId::new(i), NodeId::new(j), 16, i * 100 + j).expect("send fits the per-pair budget");
                 }
             }
         }
@@ -330,15 +330,15 @@ mod tests {
     fn out_of_order_sends_share_one_budget_per_pair() {
         let mut e = CliqueEngine::strict(4, 16);
         let mut r = e.begin_round::<u8>();
-        r.send(NodeId::new(0), NodeId::new(1), 8, 1).unwrap();
-        r.send(NodeId::new(2), NodeId::new(3), 8, 2).unwrap();
+        r.send(NodeId::new(0), NodeId::new(1), 8, 1).expect("send fits the per-pair budget");
+        r.send(NodeId::new(2), NodeId::new(3), 8, 2).expect("send fits the per-pair budget");
         // Out of key order: forces the probe-table fallback, which must
         // still see the earlier (0, 1) tally.
-        r.send(NodeId::new(0), NodeId::new(1), 8, 3).unwrap();
+        r.send(NodeId::new(0), NodeId::new(1), 8, 3).expect("send fits the per-pair budget");
         let err = r.send(NodeId::new(0), NodeId::new(1), 1, 4).unwrap_err();
         assert!(matches!(err, BandwidthError::Exceeded { attempted: 17, budget: 16, .. }));
         // A pair first seen after the fallback still gets a fresh budget.
-        r.send(NodeId::new(1), NodeId::new(0), 16, 5).unwrap();
+        r.send(NodeId::new(1), NodeId::new(0), 16, 5).expect("send fits the per-pair budget");
         let inboxes = r.deliver();
         assert_eq!(inboxes[1].len(), 2);
         assert_eq!(inboxes[0].len(), 1);
@@ -348,18 +348,18 @@ mod tests {
     fn strict_mode_enforces_budget() {
         let mut e = CliqueEngine::strict(2, 16);
         let mut r = e.begin_round::<()>();
-        r.send(NodeId::new(0), NodeId::new(1), 10, ()).unwrap();
+        r.send(NodeId::new(0), NodeId::new(1), 10, ()).expect("send fits the per-pair budget");
         let err = r.send(NodeId::new(0), NodeId::new(1), 10, ()).unwrap_err();
         assert!(matches!(err, BandwidthError::Exceeded { attempted: 20, budget: 16, .. }));
         // A different pair is unaffected.
-        r.send(NodeId::new(1), NodeId::new(0), 16, ()).unwrap();
+        r.send(NodeId::new(1), NodeId::new(0), 16, ()).expect("send fits the per-pair budget");
     }
 
     #[test]
     fn audit_mode_tallies_but_delivers() {
         let mut e = CliqueEngine::audit(2, 16);
         let mut r = e.begin_round::<u8>();
-        r.send(NodeId::new(0), NodeId::new(1), 100, 1).unwrap();
+        r.send(NodeId::new(0), NodeId::new(1), 100, 1).expect("send fits the per-pair budget");
         let inboxes = r.deliver();
         assert_eq!(inboxes[1].len(), 1);
         assert_eq!(e.ledger().violations, 1);
@@ -384,7 +384,7 @@ mod tests {
         let mut e = CliqueEngine::strict(2, 16);
         for _ in 0..3 {
             let mut r = e.begin_round::<()>();
-            r.send(NodeId::new(0), NodeId::new(1), 16, ()).unwrap();
+            r.send(NodeId::new(0), NodeId::new(1), 16, ()).expect("send fits the per-pair budget");
             r.deliver();
         }
         assert_eq!(e.ledger().rounds, 3);
@@ -396,7 +396,7 @@ mod tests {
         let mut e = CliqueEngine::strict(2, 16);
         {
             let mut r = e.begin_round::<()>();
-            r.send(NodeId::new(0), NodeId::new(1), 1, ()).unwrap();
+            r.send(NodeId::new(0), NodeId::new(1), 1, ()).expect("send fits the per-pair budget");
             // dropped without deliver
         }
         assert_eq!(e.ledger().rounds, 0);

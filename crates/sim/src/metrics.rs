@@ -93,6 +93,29 @@ impl RoundLedger {
         }
     }
 
+    /// Records `messages` messages totalling `bits` bits in one call,
+    /// attributed to the current phase — the bulk counterpart of
+    /// [`RoundLedger::charge_message`] for schedules that account whole
+    /// fragment batches at once (e.g. the Lenzen scheduler).
+    pub fn charge_fragments(&mut self, messages: u64, bits: u64) {
+        self.messages += messages;
+        self.bits += bits;
+        if let Some(p) = self.phases.last_mut() {
+            p.messages += messages;
+            p.bits += bits;
+        }
+    }
+
+    /// Records `messages` messages totalling `bits` bits against the
+    /// global counters only, **without** phase attribution. For post-hoc
+    /// aggregate accounting of replayed executions, whose per-phase
+    /// placement is not meaningful (the charges were computed after the
+    /// fact, not inside a phase).
+    pub fn charge_aggregate(&mut self, messages: u64, bits: u64) {
+        self.messages += messages;
+        self.bits += bits;
+    }
+
     /// Records a bandwidth violation (audit mode).
     pub fn charge_violation(&mut self) {
         self.violations += 1;

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Runs the in-tree conformance linter over the whole workspace.
+# Exits 0 on a clean tree, 1 on findings (printed as file:line rule-id msg),
+# 2 on usage/IO errors. Pass --json for machine-readable output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q -p cc-mis-conform -- --workspace "$@"

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate: offline build, the full test suite, and a lint-clean tree.
+# Tier-1 gate: offline build, the full test suite, a lint-clean tree, and a
+# conform-clean tree (cc-mis-conform, the in-tree model-invariant linter).
 # Everything must pass before a change lands (see ROADMAP.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,4 +8,5 @@ cd "$(dirname "$0")/.."
 cargo build --workspace --all-targets
 cargo test --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+cargo run -q -p cc-mis-conform -- --workspace
 echo "tier1: OK"

@@ -11,6 +11,8 @@
 //!
 //! Every MIS-producing command verifies its output before printing.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use clique_mis::algorithms::beeping_mis::{run_beeping_to_completion, BeepingParams};
