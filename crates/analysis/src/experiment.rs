@@ -4,7 +4,6 @@
 //! aggregates; this module provides the tiny harness that makes that
 //! uniform across the E1–E11/A1 binaries.
 
-
 use crate::stats::Summary;
 
 /// A single measured trial.

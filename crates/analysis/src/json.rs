@@ -42,6 +42,12 @@ impl Json {
         out
     }
 
+    /// Renders the value as compact JSON into an existing buffer (lets
+    /// line-oriented writers reuse one allocation across records).
+    pub fn render_into(&self, out: &mut String) {
+        self.write(out);
+    }
+
     /// Renders with two-space indentation (stable output for diffs).
     pub fn render_pretty(&self) -> String {
         let mut out = String::new();
@@ -139,7 +145,7 @@ fn write_f64(out: &mut String, x: f64) {
     }
 }
 
-fn write_escaped(out: &mut String, s: &str) {
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -12,6 +12,7 @@
 //! * [`experiment`] — seeded multi-trial runners and sweep helpers.
 //! * [`json`] — a dependency-free JSON writer (the workspace builds with
 //!   no registry access, so `serde_json` is deliberately absent).
+//! * [`trace`] — a JSONL sink for the simulator's per-round trace events.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,3 +21,4 @@ pub mod experiment;
 pub mod json;
 pub mod stats;
 pub mod table;
+pub mod trace;

@@ -127,7 +127,11 @@ pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
         .iter()
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
-    let r_squared = if ss_tot <= 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot <= 1e-12 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     LineFit {
         slope,
         intercept,

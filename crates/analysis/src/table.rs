@@ -51,7 +51,8 @@ impl Table {
             cells.len(),
             self.header.len()
         );
-        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
         self
     }
 
@@ -77,7 +78,12 @@ impl Table {
             }
         };
         out.push_str(
-            &self.header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+            &self
+                .header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push('\n');
         for row in &self.rows {
@@ -106,7 +112,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.header))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }

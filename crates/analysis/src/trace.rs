@@ -1,0 +1,283 @@
+//! JSONL sink for the simulator's structured per-round trace.
+//!
+//! [`JsonlTraceSink`] implements [`cc_mis_sim::RoundObserver`]: every
+//! [`RoundEvent`] the round core emits becomes one compact JSON object on
+//! its own line, rendered through the dependency-free writer in
+//! [`crate::json`]. Lines are buffered in memory and flushed to the target
+//! path on [`JsonlTraceSink::finish`] (or on drop), so tracing adds no
+//! per-round I/O to the run it watches.
+//!
+//! Event schema (one object per line, keys always present):
+//!
+//! ```json
+//! {"kind":"deliver","phase":"exchange","round":3,"messages":118,
+//!  "bits":944,"max_pair_load":8,"violations":0,
+//!  "inbox_histogram":[[0,2],[3,58]]}
+//! ```
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use cc_mis_sim::{RoundEvent, RoundObserver, SharedObserver};
+
+use crate::json::Json;
+
+/// Renders one [`RoundEvent`] as a compact JSON object (no trailing
+/// newline). This is the schema's reference implementation; the sink's hot
+/// path ([`write_event_line`]) produces byte-identical output without
+/// building the [`Json`] tree (pinned by the `direct_render_matches_tree`
+/// test).
+pub fn event_to_json(event: &RoundEvent) -> Json {
+    let histogram: Vec<Json> = event
+        .inbox_histogram
+        .iter()
+        .map(|&(size, count)| Json::Arr(vec![Json::from(size), Json::from(count)]))
+        .collect();
+    Json::obj(vec![
+        ("kind", Json::from(event.kind)),
+        (
+            "phase",
+            match &event.phase {
+                Some(label) => Json::from(label.as_str()),
+                None => Json::Null,
+            },
+        ),
+        ("round", Json::from(event.round)),
+        ("messages", Json::from(event.messages)),
+        ("bits", Json::from(event.bits)),
+        ("max_pair_load", Json::from(event.max_pair_load)),
+        ("violations", Json::from(event.violations)),
+        ("inbox_histogram", Json::Arr(histogram)),
+    ])
+}
+
+/// Appends one compact JSON line (with trailing newline) for `event` to
+/// `out`. Byte-identical to `event_to_json(event).render()` but allocation-
+/// free: the observer fires once per simulated round, so the sink must not
+/// pay a tree of small allocations per event.
+pub fn write_event_line(out: &mut String, event: &RoundEvent) {
+    use std::fmt::Write;
+    out.push_str("{\"kind\":");
+    crate::json::write_escaped(out, event.kind);
+    out.push_str(",\"phase\":");
+    match &event.phase {
+        Some(label) => crate::json::write_escaped(out, label),
+        None => out.push_str("null"),
+    }
+    let _ = write!(
+        out,
+        ",\"round\":{},\"messages\":{},\"bits\":{},\"max_pair_load\":{},\"violations\":{}",
+        event.round, event.messages, event.bits, event.max_pair_load, event.violations
+    );
+    out.push_str(",\"inbox_histogram\":[");
+    for (i, &(size, count)) in event.inbox_histogram.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{size},{count}]");
+    }
+    out.push_str("]}\n");
+}
+
+/// A [`RoundObserver`] that accumulates one JSON line per round event and
+/// writes the whole trace to a file when finished.
+pub struct JsonlTraceSink {
+    path: PathBuf,
+    lines: String,
+    events: u64,
+    written: bool,
+}
+
+impl JsonlTraceSink {
+    /// Creates a sink that will write to `path` on [`finish`](Self::finish)
+    /// (or on drop). The file is not touched until then.
+    pub fn new(path: impl AsRef<Path>) -> JsonlTraceSink {
+        JsonlTraceSink {
+            path: path.as_ref().to_path_buf(),
+            lines: String::new(),
+            events: 0,
+            written: false,
+        }
+    }
+
+    /// Wraps a sink in the `Rc<RefCell<…>>` handle the engines accept.
+    /// Keep a clone to call [`finish_shared`](Self::finish_shared) later.
+    pub fn shared(self) -> Rc<RefCell<JsonlTraceSink>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Upcasts a shared sink to the engine-facing observer handle.
+    pub fn as_observer(sink: &Rc<RefCell<JsonlTraceSink>>) -> SharedObserver {
+        Rc::clone(sink) as SharedObserver
+    }
+
+    /// Number of events recorded so far.
+    pub fn event_count(&self) -> u64 {
+        self.events
+    }
+
+    /// Writes the buffered trace to the sink's path and marks it written.
+    /// Returns the number of events in the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from creating or writing the file.
+    pub fn finish(&mut self) -> std::io::Result<u64> {
+        let mut file = std::fs::File::create(&self.path)?;
+        file.write_all(self.lines.as_bytes())?;
+        self.written = true;
+        Ok(self.events)
+    }
+
+    /// [`finish`](Self::finish) through the shared handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from creating or writing the file.
+    pub fn finish_shared(sink: &Rc<RefCell<JsonlTraceSink>>) -> std::io::Result<u64> {
+        sink.borrow_mut().finish()
+    }
+}
+
+impl RoundObserver for JsonlTraceSink {
+    fn on_event(&mut self, event: &RoundEvent) {
+        write_event_line(&mut self.lines, event);
+        self.events += 1;
+    }
+}
+
+impl Drop for JsonlTraceSink {
+    fn drop(&mut self) {
+        if !self.written && self.events > 0 {
+            // Best-effort flush for sinks abandoned without finish().
+            let _ = self.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cc-mis-trace-{}-{name}.jsonl", std::process::id()));
+        p
+    }
+
+    fn sample_event(round: u64) -> RoundEvent {
+        RoundEvent {
+            kind: "deliver",
+            phase: Some("exchange".to_string()),
+            round,
+            messages: 10,
+            bits: 80,
+            max_pair_load: 8,
+            violations: 0,
+            inbox_histogram: vec![(0, 2), (3, 5)],
+        }
+    }
+
+    #[test]
+    fn one_compact_line_per_event() {
+        let path = temp_path("lines");
+        let mut sink = JsonlTraceSink::new(&path);
+        sink.on_event(&sample_event(1));
+        sink.on_event(&sample_event(2));
+        let n = sink.finish().expect("write trace");
+        assert_eq!(n, 2);
+        let body = std::fs::read_to_string(&path).expect("read trace");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"kind\":\"deliver\",\"phase\":\"exchange\",\"round\":1,\
+             \"messages\":10,\"bits\":80,\"max_pair_load\":8,\"violations\":0,\
+             \"inbox_histogram\":[[0,2],[3,5]]}"
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn null_phase_and_empty_histogram_render() {
+        let event = RoundEvent {
+            kind: "idle",
+            phase: None,
+            round: 7,
+            messages: 0,
+            bits: 0,
+            max_pair_load: 0,
+            violations: 0,
+            inbox_histogram: Vec::new(),
+        };
+        let line = event_to_json(&event).render();
+        assert!(line.contains("\"phase\":null"), "{line}");
+        assert!(line.contains("\"inbox_histogram\":[]"), "{line}");
+    }
+
+    #[test]
+    fn direct_render_matches_tree() {
+        let events = [
+            sample_event(3),
+            RoundEvent {
+                kind: "idle",
+                phase: Some("label \"with\" quotes\n".to_string()),
+                round: 0,
+                messages: 0,
+                bits: 0,
+                max_pair_load: 0,
+                violations: 2,
+                inbox_histogram: Vec::new(),
+            },
+            RoundEvent {
+                phase: None,
+                ..sample_event(u64::MAX)
+            },
+        ];
+        for event in &events {
+            let mut direct = String::new();
+            write_event_line(&mut direct, event);
+            assert_eq!(direct, event_to_json(event).render() + "\n");
+        }
+    }
+
+    #[test]
+    fn shared_handle_observes_and_finishes() {
+        let path = temp_path("shared");
+        let sink = JsonlTraceSink::new(&path).shared();
+        {
+            let observer = JsonlTraceSink::as_observer(&sink);
+            observer.borrow_mut().on_event(&sample_event(1));
+        }
+        let n = JsonlTraceSink::finish_shared(&sink).expect("write trace");
+        assert_eq!(n, 1);
+        assert_eq!(sink.borrow().event_count(), 1);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn sink_records_a_real_engine_run() {
+        use cc_mis_core::luby::{run_luby_observed, LubyParams};
+        use cc_mis_graph::generators;
+
+        let path = temp_path("engine");
+        let g = generators::erdos_renyi_gnp(40, 0.15, 3);
+        let sink = JsonlTraceSink::new(&path).shared();
+        let out = run_luby_observed(
+            &g,
+            &LubyParams::for_graph(&g),
+            9,
+            Some(JsonlTraceSink::as_observer(&sink)),
+        );
+        let n = JsonlTraceSink::finish_shared(&sink).expect("write trace");
+        assert_eq!(n, out.ledger.rounds, "one event per round");
+        let body = std::fs::read_to_string(&path).expect("read trace");
+        assert_eq!(body.lines().count() as u64, n);
+        for line in body.lines() {
+            assert!(line.starts_with("{\"kind\":\""), "{line}");
+        }
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}

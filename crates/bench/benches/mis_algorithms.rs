@@ -2,9 +2,10 @@
 //! workload (complementing the round-count experiments, which measure the
 //! distributed cost rather than simulation time).
 
+use cc_mis_analysis::trace::JsonlTraceSink;
 use cc_mis_bench::harness::Harness;
 use cc_mis_core::beeping_mis::{run_beeping_to_completion, BeepingParams};
-use cc_mis_core::clique_mis::{run_clique_mis, CliqueMisParams};
+use cc_mis_core::clique_mis::{run_clique_mis, run_clique_mis_observed, CliqueMisParams};
 use cc_mis_core::ghaffari16::{run_ghaffari16, run_ghaffari16_clique, Ghaffari16Params};
 use cc_mis_core::greedy::greedy_mis;
 use cc_mis_core::lowdeg::{run_lowdeg, LowDegParams};
@@ -35,6 +36,24 @@ fn main() {
         h.bench(&format!("clique_mis_thm11/n{n}"), || {
             run_clique_mis(&g, &CliqueMisParams::default(), 1)
         });
+        // Same run with the JSONL trace observer attached: the gap between
+        // this and the line above is the full cost of `--trace`.
+        let trace_path = std::env::temp_dir().join(format!(
+            "cc-mis-bench-trace-{}-{n}.jsonl",
+            std::process::id()
+        ));
+        h.bench(&format!("clique_mis_thm11_traced/n{n}"), || {
+            let sink = JsonlTraceSink::new(&trace_path).shared();
+            let out = run_clique_mis_observed(
+                &g,
+                &CliqueMisParams::default(),
+                1,
+                Some(JsonlTraceSink::as_observer(&sink)),
+            );
+            JsonlTraceSink::finish_shared(&sink).expect("write bench trace");
+            out
+        });
+        let _ = std::fs::remove_file(&trace_path);
     }
     let sparse = generators::random_regular(1024, 4, 6);
     h.bench("lowdeg_regular4_n1024", || {

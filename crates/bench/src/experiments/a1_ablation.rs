@@ -33,7 +33,16 @@ pub fn run(quick: bool) -> Vec<Table> {
             "A1: phase length P × super-heavy threshold 2^ℓ (G({n},12/n), Δ = {}, single seed)",
             g.max_degree()
         ),
-        &["P", "ℓ", "rounds", "iters", "phases", "max ball", "max gather rounds", "residual edges"],
+        &[
+            "P",
+            "ℓ",
+            "rounds",
+            "iters",
+            "phases",
+            "max ball",
+            "max gather rounds",
+            "residual edges",
+        ],
     );
     for &p in phase_lens {
         for &sh in sh_exps {
@@ -52,8 +61,18 @@ pub fn run(quick: bool) -> Vec<Table> {
                 1,
             );
             assert!(checks::is_maximal_independent_set(&g, &out.mis));
-            let max_ball = out.phases.iter().map(|x| x.max_ball_edges).max().unwrap_or(0);
-            let max_gather = out.phases.iter().map(|x| x.gather_rounds).max().unwrap_or(0);
+            let max_ball = out
+                .phases
+                .iter()
+                .map(|x| x.max_ball_edges)
+                .max()
+                .unwrap_or(0);
+            let max_gather = out
+                .phases
+                .iter()
+                .map(|x| x.gather_rounds)
+                .max()
+                .unwrap_or(0);
             t.row(&[
                 p.to_string(),
                 sh.to_string(),

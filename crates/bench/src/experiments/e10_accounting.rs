@@ -27,7 +27,15 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut t = Table::new(
         format!("E10: cost accounting on G({n},16/n), B = {b} bits (single seed)"),
-        &["algorithm", "model", "rounds", "messages", "bits", "bits/round/node", "violations"],
+        &[
+            "algorithm",
+            "model",
+            "rounds",
+            "messages",
+            "bits",
+            "bits/round/node",
+            "violations",
+        ],
     );
     let mut push = |name: &str, model: &str, ledger: &cc_mis_sim::RoundLedger| {
         let bpn = ledger.bits as f64 / (ledger.rounds.max(1) as f64 * n as f64);
@@ -65,7 +73,17 @@ pub fn run(quick: bool) -> Vec<Table> {
     // Per-phase breakdown of the clique run.
     let mut t2 = Table::new(
         "E10b: Theorem 1.1 per-phase breakdown",
-        &["phase", "iters", "alive", "super-heavy", "|S|", "max S-deg", "ball edges", "gather rounds", "phase rounds"],
+        &[
+            "phase",
+            "iters",
+            "alive",
+            "super-heavy",
+            "|S|",
+            "max S-deg",
+            "ball edges",
+            "gather rounds",
+            "phase rounds",
+        ],
     );
     for (i, ph) in clique.phases.iter().enumerate() {
         t2.row(&[

@@ -26,7 +26,14 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut t = Table::new(
         format!("E11: maximal matching & (Δ+1)-coloring via MIS (n = {n})"),
-        &["family", "engine", "matching size", "palette (Δ+1)", "colors used", "MIS rounds"],
+        &[
+            "family",
+            "engine",
+            "matching size",
+            "palette (Δ+1)",
+            "colors used",
+            "MIS rounds",
+        ],
     );
     for f in families {
         let g = f.build(n, 91);
@@ -56,8 +63,8 @@ pub fn run(quick: bool) -> Vec<Table> {
                 "{} {engine}: invalid matching",
                 f.label()
             );
-            let colors = coloring_via_mis(&g, palette, &mut mis_fn)
-                .expect("Δ+1 palette always succeeds");
+            let colors =
+                coloring_via_mis(&g, palette, &mut mis_fn).expect("Δ+1 palette always succeeds");
             assert!(
                 checks::is_proper_coloring(&g, &colors, palette),
                 "{} {engine}: improper coloring",

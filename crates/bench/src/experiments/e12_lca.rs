@@ -21,7 +21,11 @@ use cc_mis_graph::generators;
 
 /// Runs E12 and returns its tables.
 pub fn run(quick: bool) -> Vec<Table> {
-    let sizes: &[usize] = if quick { &[200, 400] } else { &[500, 1000, 2000, 4000, 8000] };
+    let sizes: &[usize] = if quick {
+        &[200, 400]
+    } else {
+        &[500, 1000, 2000, 4000, 8000]
+    };
     let queries = if quick { 20 } else { 100 };
 
     // Part 1: probes vs n at fixed degree 4.
@@ -57,13 +61,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         }
         let s = Summary::of(&probes);
         let sb = Summary::of(&balls);
-        t1.row(&[
-            n.to_string(),
-            f2(s.mean),
-            f2(s.p90),
-            f2(s.max),
-            f2(sb.mean),
-        ]);
+        t1.row(&[n.to_string(), f2(s.mean), f2(s.p90), f2(s.max), f2(sb.mean)]);
     }
 
     // Part 2: probes vs degree at fixed n.

@@ -21,12 +21,25 @@ use crate::{default_trials, Family};
 /// Runs E2 and returns its tables.
 pub fn run(quick: bool) -> Vec<Table> {
     let n = if quick { 256 } else { 2048 };
-    let degrees: &[u32] = if quick { &[4, 16] } else { &[4, 8, 16, 32, 64, 128] };
+    let degrees: &[u32] = if quick {
+        &[4, 16]
+    } else {
+        &[4, 8, 16, 32, 64, 128]
+    };
     let trials = if quick { 2 } else { default_trials() };
 
     let mut table = Table::new(
         format!("E2: rounds vs Δ at n = {n} (means over seeds)"),
-        &["avg deg", "Δ", "log2 Δ", "luby rounds", "g16 iters", "thm1.1 iters", "thm1.1 phases", "thm1.1 rounds"],
+        &[
+            "avg deg",
+            "Δ",
+            "log2 Δ",
+            "luby rounds",
+            "g16 iters",
+            "thm1.1 iters",
+            "thm1.1 phases",
+            "thm1.1 rounds",
+        ],
     );
 
     let mut luby_pts = Vec::new();
@@ -99,13 +112,33 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     if luby_pts.len() >= 2 {
         let fl = fit_line(&luby_pts);
-        fits.row(&["luby rounds".to_string(), f2(fl.slope), f2(fl.r_squared), "≈ flat (O(log n))".to_string()]);
+        fits.row(&[
+            "luby rounds".to_string(),
+            f2(fl.slope),
+            f2(fl.r_squared),
+            "≈ flat (O(log n))".to_string(),
+        ]);
         let fg = fit_line(&g16_pts);
-        fits.row(&["g16 iterations".to_string(), f2(fg.slope), f2(fg.r_squared), "linear in log Δ".to_string()]);
+        fits.row(&[
+            "g16 iterations".to_string(),
+            f2(fg.slope),
+            f2(fg.r_squared),
+            "linear in log Δ".to_string(),
+        ]);
         let ft = fit_line(&thm_iter_pts);
-        fits.row(&["thm1.1 iterations".to_string(), f2(ft.slope), f2(ft.r_squared), "linear in log Δ".to_string()]);
+        fits.row(&[
+            "thm1.1 iterations".to_string(),
+            f2(ft.slope),
+            f2(ft.r_squared),
+            "linear in log Δ".to_string(),
+        ]);
         let fp = fit_line(&thm_phase_pts);
-        fits.row(&["thm1.1 phases".to_string(), f2(fp.slope), f2(fp.r_squared), "slope ≈ iters-slope / P".to_string()]);
+        fits.row(&[
+            "thm1.1 phases".to_string(),
+            f2(fp.slope),
+            f2(fp.r_squared),
+            "slope ≈ iters-slope / P".to_string(),
+        ]);
     }
     vec![table, fits]
 }

@@ -20,7 +20,11 @@ use crate::default_trials;
 /// Runs E3 and returns its tables.
 pub fn run(quick: bool) -> Vec<Table> {
     let n = if quick { 128 } else { 1024 };
-    let degrees: &[usize] = if quick { &[4, 16] } else { &[2, 4, 8, 16, 32, 64] };
+    let degrees: &[usize] = if quick {
+        &[4, 16]
+    } else {
+        &[2, 4, 8, 16, 32, 64]
+    };
     let trials = if quick { 2 } else { default_trials() };
 
     // Part 1: decision time vs degree on regular graphs.
@@ -35,18 +39,16 @@ pub fn run(quick: bool) -> Vec<Table> {
             let g = generators::random_regular(n, d, 100 + seed);
             let run = run_beeping(&g, &BeepingParams::for_graph(&g), seed);
             assert!(run.residual.is_empty(), "node left undecided");
-            removal.extend(run.removed_at.iter().map(|r| r.expect("decided") as f64 + 1.0));
+            removal.extend(
+                run.removed_at
+                    .iter()
+                    .map(|r| r.expect("decided") as f64 + 1.0),
+            );
         }
         let s = Summary::of(&removal);
         let logd = (d.max(2) as f64).log2();
         pts.push((logd, s.mean));
-        t1.row(&[
-            d.to_string(),
-            f2(logd),
-            f2(s.mean),
-            f2(s.p90),
-            f2(s.max),
-        ]);
+        t1.row(&[d.to_string(), f2(logd), f2(s.mean), f2(s.p90), f2(s.max)]);
     }
     let mut shape = Table::new(
         "E3a fit: mean decision time ≈ C·log2(deg) + c0 (Theorem 2.1 shape)",

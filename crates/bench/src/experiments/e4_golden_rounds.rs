@@ -85,12 +85,7 @@ pub fn run(quick: bool) -> Vec<Table> {
 
 /// Per-node golden fraction (goldens / undecided-lifetime) and the pooled
 /// wrong-move rate (wrong moves / node-iterations).
-fn fractions(
-    golden1: &[u64],
-    golden2: &[u64],
-    wrong: &[u64],
-    lifetime: &[u64],
-) -> (Vec<f64>, f64) {
+fn fractions(golden1: &[u64], golden2: &[u64], wrong: &[u64], lifetime: &[u64]) -> (Vec<f64>, f64) {
     let mut fracs = Vec::new();
     let mut wrong_total = 0u64;
     let mut life_total = 0u64;

@@ -16,7 +16,11 @@ use crate::{default_trials, Family};
 
 /// Runs E5 and returns its tables.
 pub fn run(quick: bool) -> Vec<Table> {
-    let sizes: &[usize] = if quick { &[128, 256] } else { &[256, 512, 1024, 2048, 4096] };
+    let sizes: &[usize] = if quick {
+        &[128, 256]
+    } else {
+        &[256, 512, 1024, 2048, 4096]
+    };
     let trials = if quick { 2 } else { default_trials() };
     let family = Family::GnpAvgDeg(16);
 

@@ -15,7 +15,11 @@ use crate::{default_trials, Family};
 
 /// Runs E6 and returns its tables.
 pub fn run(quick: bool) -> Vec<Table> {
-    let sizes: &[usize] = if quick { &[128] } else { &[256, 512, 1024, 2048] };
+    let sizes: &[usize] = if quick {
+        &[128]
+    } else {
+        &[256, 512, 1024, 2048]
+    };
     let phase_lens: &[usize] = if quick { &[1, 2] } else { &[1, 2, 3] };
     let trials = if quick { 2 } else { default_trials() };
 

@@ -16,17 +16,32 @@ use cc_mis_sim::clique::CliqueEngine;
 /// Runs E7 and returns its tables.
 pub fn run(quick: bool) -> Vec<Table> {
     let n = if quick { 128 } else { 1024 };
-    let radii: &[usize] = if quick { &[2, 4] } else { &[1, 2, 4, 8, 16, 32] };
+    let radii: &[usize] = if quick {
+        &[2, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
 
     let mut t = Table::new(
         format!("E7: r-hop gathering on a cycle (n = {n}, 20-bit records)"),
-        &["radius", "steps", "expected ⌈log2 r⌉", "rounds", "rounds/step", "max ball edges"],
+        &[
+            "radius",
+            "steps",
+            "expected ⌈log2 r⌉",
+            "rounds",
+            "rounds/step",
+            "max ball edges",
+        ],
     );
     for &r in radii {
         let g = generators::cycle(n);
         let mut engine = CliqueEngine::strict(n, standard_bandwidth(n));
         let res = gather_balls(&mut engine, &g, &vec![true; n], r, 20);
-        let expected = if r <= 1 { 0 } else { (r as f64).log2().ceil() as u64 };
+        let expected = if r <= 1 {
+            0
+        } else {
+            (r as f64).log2().ceil() as u64
+        };
         t.row(&[
             r.to_string(),
             res.steps.to_string(),

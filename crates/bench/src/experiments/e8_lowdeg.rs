@@ -27,7 +27,9 @@ pub fn run(quick: bool) -> Vec<Table> {
     let n = if quick { 128 } else { 1024 };
 
     let mut t = Table::new(
-        format!("E8: Lemma 2.15 fast path (n ≈ {n}; 'regular' rows are the expander counterexample)"),
+        format!(
+            "E8: Lemma 2.15 fast path (n ≈ {n}; 'regular' rows are the expander counterexample)"
+        ),
         &[
             "family",
             "Δ",

@@ -40,7 +40,13 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut t = Table::new(
         format!("E9: direct vs simulated execution, exact-match count (n = {n})"),
-        &["family", "P", "seeds", "exact matches", "iterations checked"],
+        &[
+            "family",
+            "P",
+            "seeds",
+            "exact matches",
+            "iterations checked",
+        ],
     );
     for f in families {
         let g = f.build(n, 33);
@@ -70,19 +76,22 @@ pub fn run(quick: bool) -> Vec<Table> {
                     700 + seed,
                 );
                 assert_eq!(
-                    direct.joined_at, sim.joined_at,
+                    direct.joined_at,
+                    sim.joined_at,
                     "JOIN DIVERGENCE: {} P={p} seed={seed}",
                     f.label()
                 );
                 assert_eq!(
-                    direct.removed_at, sim.removed_at,
+                    direct.removed_at,
+                    sim.removed_at,
                     "REMOVAL DIVERGENCE: {} P={p} seed={seed}",
                     f.label()
                 );
                 for i in 0..g.node_count() {
                     if direct.removed_at[i].is_none() {
                         assert_eq!(
-                            direct.pexp[i], sim.pexp[i],
+                            direct.pexp[i],
+                            sim.pexp[i],
                             "PEXP DIVERGENCE: {} P={p} seed={seed} node={i}",
                             f.label()
                         );

@@ -62,7 +62,11 @@ impl Family {
             }
             Family::Regular(d) => {
                 let d = (d as usize).min(n.saturating_sub(1));
-                let d = if n * d % 2 == 1 { d.saturating_sub(1) } else { d };
+                let d = if n * d % 2 == 1 {
+                    d.saturating_sub(1)
+                } else {
+                    d
+                };
                 generators::random_regular(n, d, seed)
             }
             Family::PrefAttach(m) => {

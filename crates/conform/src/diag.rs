@@ -34,9 +34,8 @@ impl Finding {
 
 /// Sorts findings into the stable output order (path, line, rule).
 pub fn sort(findings: &mut [Finding]) {
-    findings.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
-    });
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
 }
 
 /// Renders findings as a JSON document (via the workspace's dependency-free

@@ -17,7 +17,8 @@ use std::process::ExitCode;
 
 use cc_mis_conform::{check, check_workspace, diag, find_workspace_root, rules, Input};
 
-const USAGE: &str = "usage: cc-mis-conform [--workspace] [--json] [--list-rules] [--root DIR] [PATH...]";
+const USAGE: &str =
+    "usage: cc-mis-conform [--workspace] [--json] [--list-rules] [--root DIR] [PATH...]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,8 +57,10 @@ fn main() -> ExitCode {
     let findings = if paths.is_empty() {
         let start = root.clone().unwrap_or_else(|| PathBuf::from("."));
         let Some(ws) = find_workspace_root(&start) else {
-            eprintln!("error: no workspace root (Cargo.toml with [workspace]) at or above {}",
-                start.display());
+            eprintln!(
+                "error: no workspace root (Cargo.toml with [workspace]) at or above {}",
+                start.display()
+            );
             return ExitCode::from(2);
         };
         match check_workspace(&ws) {
@@ -107,7 +110,11 @@ fn usage_error(msg: &str) -> ExitCode {
 fn read_inputs(base: &Path, paths: &[PathBuf]) -> std::io::Result<Vec<Input>> {
     let mut inputs = Vec::new();
     for p in paths {
-        let full = if p.is_absolute() { p.clone() } else { base.join(p) };
+        let full = if p.is_absolute() {
+            p.clone()
+        } else {
+            base.join(p)
+        };
         let text = std::fs::read_to_string(&full)?;
         inputs.push(Input {
             path: p.to_string_lossy().replace('\\', "/"),

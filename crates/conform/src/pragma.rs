@@ -37,7 +37,10 @@ pub fn collect(file: &SourceFile, findings: &mut Vec<Finding>) -> Vec<Pragma> {
         let lineno = idx + 1;
         let body = line.comment[at + "conform:".len()..].trim();
         match parse(body) {
-            Ok(rules) => pragmas.push(Pragma { line: lineno, rules }),
+            Ok(rules) => pragmas.push(Pragma {
+                line: lineno,
+                rules,
+            }),
             Err(msg) => findings.push(Finding::new(&file.effective, lineno, "P1", msg)),
         }
     }
@@ -47,8 +50,7 @@ pub fn collect(file: &SourceFile, findings: &mut Vec<Finding>) -> Vec<Pragma> {
 /// Parses `allow(<rules>) -- <justification>`, returning the rule list.
 fn parse(body: &str) -> Result<Vec<String>, String> {
     let rest = body.strip_prefix("allow").ok_or_else(|| {
-        "malformed conform pragma: expected `conform: allow(<rule>) -- <justification>`"
-            .to_string()
+        "malformed conform pragma: expected `conform: allow(<rule>) -- <justification>`".to_string()
     })?;
     let rest = rest.trim_start();
     let rest = rest
@@ -84,9 +86,9 @@ fn parse(body: &str) -> Result<Vec<String>, String> {
 /// True if `pragmas` suppress `rule` at 1-based line `lineno` (a pragma
 /// covers its own line and the next one).
 pub fn suppressed(pragmas: &[Pragma], rule: &str, lineno: usize) -> bool {
-    pragmas.iter().any(|p| {
-        (p.line == lineno || p.line + 1 == lineno) && p.rules.iter().any(|r| r == rule)
-    })
+    pragmas
+        .iter()
+        .any(|p| (p.line == lineno || p.line + 1 == lineno) && p.rules.iter().any(|r| r == rule))
 }
 
 #[cfg(test)]

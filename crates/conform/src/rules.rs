@@ -60,6 +60,11 @@ pub const RULES: &[RuleInfo] = &[
                   workspace dependency (offline-build guard)",
     },
     RuleInfo {
+        id: "R9",
+        summary: "in crates/sim, RoundLedger charge calls appear only in runtime.rs and \
+                  metrics.rs: every engine bills through the unified round core",
+    },
+    RuleInfo {
         id: "P1",
         summary: "conform pragmas must be well-formed, name known rules, and carry a \
                   justification",
@@ -81,6 +86,10 @@ fn is_metrics(path: &str) -> bool {
 
 fn is_par_nodes(path: &str) -> bool {
     path == "crates/sim/src/par_nodes.rs"
+}
+
+fn is_runtime(path: &str) -> bool {
+    path == "crates/sim/src/runtime.rs"
 }
 
 fn is_crate_root(path: &str) -> bool {
@@ -146,7 +155,12 @@ pub fn check_file(file: &SourceFile, counters: &[String], findings: &mut Vec<Fin
 
         // R2 — parallelism flows through the deterministic node pool.
         if !is_par_nodes(path) {
-            for pat in ["std::thread", "thread::spawn(", "thread::scope(", "thread::Builder"] {
+            for pat in [
+                "std::thread",
+                "thread::spawn(",
+                "thread::scope(",
+                "thread::Builder",
+            ] {
                 if code.contains(pat) {
                     findings.push(Finding::new(
                         path,
@@ -243,6 +257,23 @@ pub fn check_file(file: &SourceFile, counters: &[String], findings: &mut Vec<Fin
             }
         }
 
+        // R9 — in the simulator crate, ledger charging is the round core's
+        // job: engines describe transports, the core bills them.
+        if path.starts_with("crates/sim/src") && !is_metrics(path) && !is_runtime(path) {
+            for name in charge_calls(code) {
+                findings.push(Finding::new(
+                    path,
+                    lineno,
+                    "R9",
+                    format!(
+                        "`{name}()` charges a ledger outside the round core: in crates/sim \
+                         all RoundLedger charging lives in runtime.rs (or metrics.rs itself) \
+                         so every engine bills through one audited path"
+                    ),
+                ));
+            }
+        }
+
         // R7 — engine bandwidth must reference named constants.
         check_bandwidth_literals(file, idx, findings);
     }
@@ -318,9 +349,14 @@ fn check_bandwidth_literals(file: &SourceFile, idx: usize, findings: &mut Vec<Fi
             text.push(' ');
             text.push_str(&follow.code);
         }
-        let Some(args) = top_level_args(&text) else { continue };
+        let Some(args) = top_level_args(&text) else {
+            continue;
+        };
         if let Some(bandwidth) = args.get(1) {
-            let b = bandwidth.trim().trim_end_matches("u64").trim_end_matches('_');
+            let b = bandwidth
+                .trim()
+                .trim_end_matches("u64")
+                .trim_end_matches('_');
             if !b.is_empty() && b.chars().all(|c| c.is_ascii_digit() || c == '_') {
                 findings.push(Finding::new(
                     path,
@@ -373,7 +409,11 @@ pub fn check_manifest(path: &str, text: &str, findings: &mut Vec<Finding>) {
     enum Section {
         Deps,
         /// `[dependencies.foo]` — judged when the section closes.
-        DepEntry { name: String, line: usize, ok: bool },
+        DepEntry {
+            name: String,
+            line: usize,
+            ok: bool,
+        },
         Other,
     }
     let mut section = Section::Other;
@@ -413,7 +453,9 @@ pub fn check_manifest(path: &str, text: &str, findings: &mut Vec<Finding>) {
         }
         match &mut section {
             Section::Deps => {
-                let Some((key, value)) = line.split_once('=') else { continue };
+                let Some((key, value)) = line.split_once('=') else {
+                    continue;
+                };
                 let value = value.trim();
                 if !value.contains("path") && !value.contains("workspace = true") {
                     findings.push(registry_finding(path, lineno, key.trim()));

@@ -339,7 +339,10 @@ mod tests {
         );
         assert!(!f.lines[0].code.contains("Instant::now"));
         assert!(f.lines[1].code.contains("&'static str"));
-        assert!(!f.lines[1].code.contains('x'), "char literal contents blanked");
+        assert!(
+            !f.lines[1].code.contains('x'),
+            "char literal contents blanked"
+        );
     }
 
     #[test]

@@ -121,6 +121,18 @@ fn r8_registry_dependencies() {
 }
 
 #[test]
+fn r9_sim_charges_outside_the_round_core() {
+    assert_fires_and_clean("R9", "r9_fires.rs", "r9_clean.rs");
+    // Both charge lines in the firing fixture are reported individually.
+    let firing = check(&[fixture("r9_fires.rs")]);
+    assert_eq!(
+        firing.iter().filter(|f| f.rule == "R9").count(),
+        2,
+        "{firing:?}"
+    );
+}
+
+#[test]
 fn justified_pragma_suppresses() {
     let findings = check(&[fixture("pragma_justified.rs")]);
     assert!(findings.is_empty(), "{findings:?}");

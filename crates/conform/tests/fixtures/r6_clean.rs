@@ -1,5 +1,5 @@
-// conform-fixture: crates/sim/src/fixture_demo.rs
-use crate::metrics::RoundLedger;
+// conform-fixture: crates/core/src/fixture_demo.rs
+use cc_mis_sim::RoundLedger;
 
 pub fn demo(ledger: &mut RoundLedger) {
     ledger.charge_round();

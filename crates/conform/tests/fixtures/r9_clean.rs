@@ -1,0 +1,7 @@
+// conform-fixture: crates/sim/src/runtime.rs
+use crate::metrics::RoundLedger;
+
+pub fn demo(ledger: &mut RoundLedger) {
+    ledger.charge_round();
+    ledger.charge_message(8);
+}

@@ -14,8 +14,8 @@ fn workspace_root() -> &'static Path {
 
 #[test]
 fn live_workspace_has_no_findings() {
-    let findings = cc_mis_conform::check_workspace(workspace_root())
-        .expect("workspace sources are readable");
+    let findings =
+        cc_mis_conform::check_workspace(workspace_root()).expect("workspace sources are readable");
     assert!(
         findings.is_empty(),
         "the committed tree must be conform-clean:\n{}",

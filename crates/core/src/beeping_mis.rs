@@ -22,7 +22,7 @@ use cc_mis_graph::{Graph, NodeId};
 use cc_mis_sim::beeping::BeepingEngine;
 use cc_mis_sim::par_nodes::par_map_nodes;
 use cc_mis_sim::rng::{SharedRandomness, Stream};
-use cc_mis_sim::RoundLedger;
+use cc_mis_sim::{RoundLedger, SharedObserver};
 
 use crate::common::{double_capped, halve, p_of, MisOutcome, INITIAL_PEXP};
 
@@ -105,9 +105,23 @@ pub struct BeepingRun {
 /// assert!(checks::is_maximal_independent_set(&g, &run.mis));
 /// ```
 pub fn run_beeping(g: &Graph, params: &BeepingParams, seed: u64) -> BeepingRun {
+    run_beeping_observed(g, params, seed, None)
+}
+
+/// [`run_beeping`] with an optional per-round trace observer attached to
+/// the engine. `None` is exactly the unobserved run.
+pub fn run_beeping_observed(
+    g: &Graph,
+    params: &BeepingParams,
+    seed: u64,
+    observer: Option<SharedObserver>,
+) -> BeepingRun {
     let n = g.node_count();
     let rng = SharedRandomness::new(seed);
     let mut engine = BeepingEngine::new(g);
+    if let Some(observer) = observer {
+        engine.attach_observer(observer);
+    }
     let mut pexp = vec![INITIAL_PEXP; n];
     let mut joined_at: Vec<Option<u64>> = vec![None; n];
     let mut removed_at: Vec<Option<u64>> = vec![None; n];
@@ -177,7 +191,11 @@ pub fn run_beeping(g: &Graph, params: &BeepingParams, seed: u64) -> BeepingRun {
             if d[i] > GOLDEN2_D_MIN && dprime < GOLDEN2_D_MIN * d[i] {
                 pending_shrink[i] = Some(d[i]);
             }
-            pexp[i] = if heard[i] { halve(pexp[i]) } else { double_capped(pexp[i]) };
+            pexp[i] = if heard[i] {
+                halve(pexp[i])
+            } else {
+                double_capped(pexp[i])
+            };
         }
 
         // R2: new MIS members beep; they and their hearers leave.
@@ -229,7 +247,21 @@ pub fn run_beeping(g: &Graph, params: &BeepingParams, seed: u64) -> BeepingRun {
 /// Panics if some node is still undecided after `params.max_iterations`
 /// (a `≪ 1/poly(n)` event with the default budget).
 pub fn run_beeping_to_completion(g: &Graph, params: &BeepingParams, seed: u64) -> MisOutcome {
-    let run = run_beeping(g, params, seed);
+    run_beeping_to_completion_observed(g, params, seed, None)
+}
+
+/// [`run_beeping_to_completion`] with an optional per-round trace observer.
+///
+/// # Panics
+///
+/// As for [`run_beeping_to_completion`].
+pub fn run_beeping_to_completion_observed(
+    g: &Graph,
+    params: &BeepingParams,
+    seed: u64,
+    observer: Option<SharedObserver>,
+) -> MisOutcome {
+    let run = run_beeping_observed(g, params, seed, observer);
     assert!(
         run.residual.is_empty(),
         "beeping MIS left {} undecided nodes after {} iterations",
@@ -273,7 +305,11 @@ pub fn evolve_beeping(
     rng: SharedRandomness,
     iterations: u64,
 ) -> BeepingEvolution {
-    assert_eq!(coin_ids.len(), g.node_count(), "coin id mapping must cover the graph");
+    assert_eq!(
+        coin_ids.len(),
+        g.node_count(),
+        "coin id mapping must cover the graph"
+    );
     let n = g.node_count();
     let mut pexp = vec![INITIAL_PEXP; n];
     let mut joined_at: Vec<Option<u64>> = vec![None; n];
@@ -296,7 +332,11 @@ pub fn evolve_beeping(
             .collect();
         for i in 0..n {
             if removed_at[i].is_none() {
-                pexp[i] = if heard[i] { halve(pexp[i]) } else { double_capped(pexp[i]) };
+                pexp[i] = if heard[i] {
+                    halve(pexp[i])
+                } else {
+                    double_capped(pexp[i])
+                };
             }
         }
         for &i in &joins {
@@ -433,7 +473,9 @@ mod tests {
                 if let Some(r) = run.removed_at[i] {
                     let v = NodeId::new(i as u32);
                     assert!(
-                        g.neighbors(v).iter().any(|u| run.joined_at[u.index()] == Some(r)),
+                        g.neighbors(v)
+                            .iter()
+                            .any(|u| run.joined_at[u.index()] == Some(r)),
                         "node {i} removed at {r} without an MIS neighbor joining then"
                     );
                 }

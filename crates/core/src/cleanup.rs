@@ -29,7 +29,10 @@ use crate::greedy::greedy_mis_on_residual;
 pub fn leader_cleanup(engine: &mut CliqueEngine, g: &Graph, alive: &[bool]) -> Vec<NodeId> {
     let n = g.node_count();
     assert_eq!(alive.len(), n, "alive mask must cover the graph");
-    assert!(engine.node_count() >= n.max(1), "engine too small for the graph");
+    assert!(
+        engine.node_count() >= n.max(1),
+        "engine too small for the graph"
+    );
     if n == 0 {
         return Vec::new();
     }

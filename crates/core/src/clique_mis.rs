@@ -40,17 +40,16 @@
 //! bit-for-bit under a shared seed (enforced by tests).
 
 use cc_mis_graph::{Graph, GraphBuilder, NodeId};
-use cc_mis_sim::bits::{
-    node_id_bits, standard_bandwidth, COIN_BITS, PROBABILITY_EXPONENT_BITS,
-};
+use cc_mis_sim::bits::{node_id_bits, standard_bandwidth, COIN_BITS, PROBABILITY_EXPONENT_BITS};
 use cc_mis_sim::clique::CliqueEngine;
 use cc_mis_sim::par_nodes::par_map_nodes;
 use cc_mis_sim::rng::{SharedRandomness, Stream};
-use cc_mis_sim::RoundLedger;
+use cc_mis_sim::{RoundLedger, SharedObserver};
 
 use crate::cleanup::leader_cleanup;
 use crate::common::{double_capped, halve, p_of, MisOutcome, INITIAL_PEXP};
 use crate::exponentiation::gather_balls;
+use crate::rounds;
 use crate::sparsified::{sample_set, SparsifiedParams};
 
 /// Configuration of [`run_clique_mis`].
@@ -138,8 +137,21 @@ struct Announcement {
 /// println!("{} clique rounds", out.rounds);
 /// ```
 pub fn run_clique_mis(g: &Graph, cfg: &CliqueMisParams, seed: u64) -> CliqueMisResult {
+    run_clique_mis_observed(g, cfg, seed, None)
+}
+
+/// [`run_clique_mis`] with an optional per-round trace observer attached to
+/// the engine. `None` is exactly the unobserved run.
+pub fn run_clique_mis_observed(
+    g: &Graph,
+    cfg: &CliqueMisParams,
+    seed: u64,
+    observer: Option<SharedObserver>,
+) -> CliqueMisResult {
     let n = g.node_count();
-    let params = cfg.sparsified.unwrap_or_else(|| SparsifiedParams::for_graph(g));
+    let params = cfg
+        .sparsified
+        .unwrap_or_else(|| SparsifiedParams::for_graph(g));
     assert!(params.phase_len >= 1, "phase length must be at least 1");
     assert!(
         params.phase_len <= 64,
@@ -148,6 +160,9 @@ pub fn run_clique_mis(g: &Graph, cfg: &CliqueMisParams, seed: u64) -> CliqueMisR
     );
     let rng = SharedRandomness::new(seed);
     let mut engine = CliqueEngine::strict(n.max(2), standard_bandwidth(n.max(2)));
+    if let Some(observer) = observer {
+        engine.attach_observer(observer);
+    }
     let id_bits = node_id_bits(n.max(2)).max(1);
 
     let mut pexp = vec![INITIAL_PEXP; n];
@@ -165,18 +180,13 @@ pub fn run_clique_mis(g: &Graph, cfg: &CliqueMisParams, seed: u64) -> CliqueMisR
 
         // ===== 1. p-exchange round =====
         let mut round = engine.begin_round::<u32>();
-        for v in g.nodes() {
-            if !alive0[v.index()] {
-                continue;
-            }
-            for &u in g.neighbors(v) {
-                if alive0[u.index()] {
-                    round
-                        .send(v, u, PROBABILITY_EXPONENT_BITS, pexp[v.index()])
-                        .expect("p exponent fits the bandwidth");
-                }
-            }
-        }
+        rounds::broadcast_to_alive_neighbors(
+            &mut round,
+            g,
+            &alive0,
+            |v| alive0[v.index()].then(|| (PROBABILITY_EXPONENT_BITS, pexp[v.index()])),
+            "p exponent fits the bandwidth",
+        );
         let inboxes = round.deliver();
         let threshold = params.super_heavy_threshold();
         let mut super_heavy = vec![false; n];
@@ -206,21 +216,21 @@ pub fn run_clique_mis(g: &Graph, cfg: &CliqueMisParams, seed: u64) -> CliqueMisR
 
         // ===== 2. Commitment round: (super-heavy?, beep vector, in S?) =====
         let mut round = engine.begin_round::<(bool, u64, bool)>();
-        for v in g.nodes() {
-            let i = v.index();
-            if !alive0[i] {
-                continue;
-            }
-            let vec = if super_heavy[i] { sh_vector(i) } else { 0 };
-            let bits = 2 + if super_heavy[i] { len as u64 } else { 0 };
-            for &u in g.neighbors(v) {
-                if alive0[u.index()] {
-                    round
-                        .send(v, u, bits, (super_heavy[i], vec, in_s[i]))
-                        .expect("commitment fits the bandwidth");
+        rounds::broadcast_to_alive_neighbors(
+            &mut round,
+            g,
+            &alive0,
+            |v| {
+                let i = v.index();
+                if !alive0[i] {
+                    return None;
                 }
-            }
-        }
+                let vec = if super_heavy[i] { sh_vector(i) } else { 0 };
+                let bits = 2 + if super_heavy[i] { len as u64 } else { 0 };
+                Some((bits, (super_heavy[i], vec, in_s[i])))
+            },
+            "commitment fits the bandwidth",
+        );
         let inboxes = round.deliver();
         // Per node: OR of super-heavy neighbors' schedules, and S-neighbor
         // lists (the node's incident edges of G[S], plus a watcher's view).
@@ -260,8 +270,7 @@ pub fn run_clique_mis(g: &Graph, cfg: &CliqueMisParams, seed: u64) -> CliqueMisR
             .unwrap_or(0);
         // Record size: edge (2 ids) + both endpoints' decorations
         // (p exponent, super-heavy OR schedule, and the phase's coins).
-        let decoration_bits =
-            PROBABILITY_EXPONENT_BITS + len as u64 + len as u64 * COIN_BITS;
+        let decoration_bits = PROBABILITY_EXPONENT_BITS + len as u64 + len as u64 * COIN_BITS;
         let record_bits = 2 * id_bits + 2 * decoration_bits;
         // Radius 2·len, not len: a node's aliveness after k iterations
         // depends on joins of neighbors, whose decisions depend on *their*
@@ -283,7 +292,15 @@ pub fn run_clique_mis(g: &Graph, cfg: &CliqueMisParams, seed: u64) -> CliqueMisR
             if !in_s[s] {
                 return None;
             }
-            Some(replay_ball(s, &gather.balls[s], &pexp, &sh_or, &rng, t0, len))
+            Some(replay_ball(
+                s,
+                &gather.balls[s],
+                &pexp,
+                &sh_or,
+                &rng,
+                t0,
+                len,
+            ))
         });
         for (s, replay) in replays.into_iter().enumerate() {
             if let Some((ann, final_pexp, removed_k)) = replay {
@@ -294,20 +311,16 @@ pub fn run_clique_mis(g: &Graph, cfg: &CliqueMisParams, seed: u64) -> CliqueMisR
         }
 
         // ===== 5. Announcement round =====
-        let ann_bits = len as u64 + (len as u64 + 1).next_power_of_two().trailing_zeros() as u64 + 1;
+        let ann_bits =
+            len as u64 + (len as u64 + 1).next_power_of_two().trailing_zeros() as u64 + 1;
         let mut round = engine.begin_round::<Announcement>();
-        for v in g.nodes() {
-            let i = v.index();
-            if let Some(ann) = announcements[i] {
-                for &u in g.neighbors(v) {
-                    if alive0[u.index()] {
-                        round
-                            .send(v, u, ann_bits, ann)
-                            .expect("announcement fits the bandwidth");
-                    }
-                }
-            }
-        }
+        rounds::broadcast_to_alive_neighbors(
+            &mut round,
+            g,
+            &alive0,
+            |v| announcements[v.index()].map(|ann| (ann_bits, ann)),
+            "announcement fits the bandwidth",
+        );
         let inboxes = round.deliver();
 
         // Apply the phase outcome to the global state, exactly mirroring
@@ -345,10 +358,12 @@ pub fn run_clique_mis(g: &Graph, cfg: &CliqueMisParams, seed: u64) -> CliqueMisR
                         break;
                     }
                     let heard = (sh_or[i] >> k) & 1 == 1
-                        || inboxes[i]
-                            .iter()
-                            .any(|&(_, ann)| (ann.beeps >> k) & 1 == 1);
-                    pexp[i] = if heard { halve(pexp[i]) } else { double_capped(pexp[i]) };
+                        || inboxes[i].iter().any(|&(_, ann)| (ann.beeps >> k) & 1 == 1);
+                    pexp[i] = if heard {
+                        halve(pexp[i])
+                    } else {
+                        double_capped(pexp[i])
+                    };
                     if inboxes[i].iter().any(|&(_, ann)| ann.joined_k == Some(k)) {
                         removed_k = Some(k);
                     }
@@ -417,7 +432,17 @@ pub fn run_clique_mis(g: &Graph, cfg: &CliqueMisParams, seed: u64) -> CliqueMisR
 
 /// Convenience wrapper returning a plain [`MisOutcome`].
 pub fn run_clique_mis_outcome(g: &Graph, cfg: &CliqueMisParams, seed: u64) -> MisOutcome {
-    let res = run_clique_mis(g, cfg, seed);
+    run_clique_mis_outcome_observed(g, cfg, seed, None)
+}
+
+/// [`run_clique_mis_outcome`] with an optional per-round trace observer.
+pub fn run_clique_mis_outcome_observed(
+    g: &Graph,
+    cfg: &CliqueMisParams,
+    seed: u64,
+    observer: Option<SharedObserver>,
+) -> MisOutcome {
+    let res = run_clique_mis_observed(g, cfg, seed, observer);
     MisOutcome {
         mis: res.mis,
         ledger: res.ledger,
@@ -473,24 +498,25 @@ fn replay_ball(
         let beeps: Vec<bool> = (0..m)
             .map(|u| {
                 removed[u].is_none()
-                    && rng.coin(Stream::Beep, NodeId::new(nodes[u]), t0 + k as u64)
-                        <= p_of(pe[u])
+                    && rng.coin(Stream::Beep, NodeId::new(nodes[u]), t0 + k as u64) <= p_of(pe[u])
             })
             .collect();
         if beeps[c] {
             center_beeps |= 1 << k;
         }
         let heard: Vec<bool> = (0..m)
-            .map(|u| {
-                (sh_or[nodes[u] as usize] >> k) & 1 == 1 || adj[u].iter().any(|&w| beeps[w])
-            })
+            .map(|u| (sh_or[nodes[u] as usize] >> k) & 1 == 1 || adj[u].iter().any(|&w| beeps[w]))
             .collect();
         let joins: Vec<usize> = (0..m)
             .filter(|&u| removed[u].is_none() && beeps[u] && !heard[u])
             .collect();
         for u in 0..m {
             if removed[u].is_none() {
-                pe[u] = if heard[u] { halve(pe[u]) } else { double_capped(pe[u]) };
+                pe[u] = if heard[u] {
+                    halve(pe[u])
+                } else {
+                    double_capped(pe[u])
+                };
             }
         }
         for &u in &joins {
@@ -519,8 +545,8 @@ fn replay_ball(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cc_mis_graph::{checks, generators, Graph};
     use crate::sparsified::run_sparsified;
+    use cc_mis_graph::{checks, generators, Graph};
 
     #[test]
     fn clique_mis_is_mis_on_families() {
@@ -568,7 +594,10 @@ mod tests {
                 seed,
             );
             assert_eq!(direct.joined_at, simulated.joined_at, "seed {seed}: joins");
-            assert_eq!(direct.removed_at, simulated.removed_at, "seed {seed}: removals");
+            assert_eq!(
+                direct.removed_at, simulated.removed_at,
+                "seed {seed}: removals"
+            );
             assert_eq!(direct.mis, simulated.mis, "seed {seed}: MIS");
             // Probability exponents must agree wherever they still matter
             // (undecided nodes) — and in fact everywhere, by construction.
@@ -588,7 +617,10 @@ mod tests {
         for (name, g) in [
             ("star", generators::star(300)),
             ("cliques", generators::disjoint_cliques(10, 12)),
-            ("power-law", generators::chung_lu_power_law(150, 2.3, 8.0, 4)),
+            (
+                "power-law",
+                generators::chung_lu_power_law(150, 2.3, 8.0, 4),
+            ),
             ("bipartite", generators::complete_bipartite(8, 120)),
         ] {
             // Explicit P = 3 on small hard instances: deepest replay depth.
@@ -609,7 +641,10 @@ mod tests {
                     seed,
                 );
                 assert_eq!(direct.mis, simulated.mis, "{name} seed {seed}");
-                assert_eq!(direct.removed_at, simulated.removed_at, "{name} seed {seed}");
+                assert_eq!(
+                    direct.removed_at, simulated.removed_at,
+                    "{name} seed {seed}"
+                );
             }
         }
     }

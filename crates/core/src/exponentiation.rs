@@ -169,7 +169,11 @@ pub fn gather_balls(
     record_bits: u64,
 ) -> GatherResult {
     assert!(radius >= 1, "radius must be at least 1");
-    assert_eq!(participant.len(), gather.node_count(), "participant mask mismatch");
+    assert_eq!(
+        participant.len(),
+        gather.node_count(),
+        "participant mask mismatch"
+    );
     let n = gather.node_count();
 
     // Dense edge-id space over the participant-filtered edge set: id `i` is
@@ -197,7 +201,11 @@ pub fn gather_balls(
     // L1-resident for any gather this simulator can afford to run.
     let mut seen: Vec<u64> = vec![0; m_part.div_ceil(64)];
 
-    let steps = if radius <= 1 { 0 } else { (radius as f64).log2().ceil() as u64 };
+    let steps = if radius <= 1 {
+        0
+    } else {
+        (radius as f64).log2().ceil() as u64
+    };
     let mut total_rounds = 0u64;
     let mut steps_run = 0u64;
     let mut targets: Vec<u32> = Vec::new();
@@ -349,14 +357,23 @@ mod tests {
 
     #[test]
     fn edge_keys_pack_and_sort_like_pairs() {
-        let pairs = [(0u32, 1u32), (0, 7), (1, 2), (3, 4), (u32::MAX - 1, u32::MAX)];
+        let pairs = [
+            (0u32, 1u32),
+            (0, 7),
+            (1, 2),
+            (3, 4),
+            (u32::MAX - 1, u32::MAX),
+        ];
         let mut keys: Vec<u64> = pairs.iter().map(|&(a, b)| pack_edge(a, b)).collect();
         for (k, &(a, b)) in keys.iter().zip(&pairs) {
             assert_eq!(unpack_edge(*k), (a, b));
         }
         let sorted = keys.clone();
         keys.sort_unstable();
-        assert_eq!(keys, sorted, "key order must match lexicographic pair order");
+        assert_eq!(
+            keys, sorted,
+            "key order must match lexicographic pair order"
+        );
     }
 
     #[test]
@@ -561,8 +578,7 @@ mod tests {
         let g = generators::grid(3, 3);
         let mut engine = engine_for(9);
         let res = gather_balls(&mut engine, &g, &[true; 9], 8, 16);
-        let full: BTreeSet<(u32, u32)> =
-            g.edges().map(|(u, v)| (u.raw(), v.raw())).collect();
+        let full: BTreeSet<(u32, u32)> = g.edges().map(|(u, v)| (u.raw(), v.raw())).collect();
         for v in 0..9 {
             assert_eq!(as_set(&res.balls[v]), full, "node {v}");
         }

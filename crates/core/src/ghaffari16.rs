@@ -35,11 +35,13 @@ use cc_mis_sim::clique::CliqueEngine;
 use cc_mis_sim::congest::CongestEngine;
 use cc_mis_sim::par_nodes::par_map_nodes;
 use cc_mis_sim::rng::{SharedRandomness, Stream};
+use cc_mis_sim::SharedObserver;
 
 use crate::cleanup;
 use crate::common::{
     double_capped, halve, iterations_for_max_degree, p_of, MisOutcome, INITIAL_PEXP,
 };
+use crate::rounds;
 
 /// Parameters for the Ghaffari'16 runners.
 #[derive(Debug, Clone, Copy)]
@@ -92,7 +94,8 @@ impl Evolution {
         self.removed_at
             .iter()
             .enumerate()
-            .filter(|&(_i, r)| r.is_none()).map(|(i, _r)| NodeId::new(i as u32))
+            .filter(|&(_i, r)| r.is_none())
+            .map(|(i, _r)| NodeId::new(i as u32))
             .collect()
     }
 }
@@ -110,7 +113,11 @@ impl Evolution {
 ///
 /// Panics if `coin_ids.len() != g.node_count()`.
 pub fn evolve(g: &Graph, coin_ids: &[NodeId], rng: SharedRandomness, iterations: u64) -> Evolution {
-    assert_eq!(coin_ids.len(), g.node_count(), "coin id mapping must cover the graph");
+    assert_eq!(
+        coin_ids.len(),
+        g.node_count(),
+        "coin id mapping must cover the graph"
+    );
     let n = g.node_count();
     let mut pexp = vec![INITIAL_PEXP; n];
     let mut joined_at: Vec<Option<u64>> = vec![None; n];
@@ -123,8 +130,9 @@ pub fn evolve(g: &Graph, coin_ids: &[NodeId], rng: SharedRandomness, iterations:
         }
         let alive = |i: usize| removed_at[i].is_none();
         // Marks, from addressable coins.
-        let marked: Vec<bool> =
-            par_map_nodes(n, |i| alive(i) && rng.coin(Stream::Beep, coin_ids[i], t) <= p_of(pexp[i]));
+        let marked: Vec<bool> = par_map_nodes(n, |i| {
+            alive(i) && rng.coin(Stream::Beep, coin_ids[i], t) <= p_of(pexp[i])
+        });
         // d_t over alive neighbors, and the join rule — per node a pure
         // function of the iteration's snapshots (neighbor order fixes the
         // f64 summation order, so results are thread-count independent).
@@ -141,7 +149,11 @@ pub fn evolve(g: &Graph, coin_ids: &[NodeId], rng: SharedRandomness, iterations:
                     neighbor_marked |= marked[u.index()];
                 }
             }
-            let next = if d >= 2.0 { halve(pexp[i]) } else { double_capped(pexp[i]) };
+            let next = if d >= 2.0 {
+                halve(pexp[i])
+            } else {
+                double_capped(pexp[i])
+            };
             Some((marked[i] && !neighbor_marked, next))
         });
         let mut joins: Vec<usize> = Vec::new();
@@ -197,9 +209,23 @@ pub fn evolve(g: &Graph, coin_ids: &[NodeId], rng: SharedRandomness, iterations:
 /// assert!(checks::is_maximal_independent_set(&g, &out.mis));
 /// ```
 pub fn run_ghaffari16(g: &Graph, params: &Ghaffari16Params, seed: u64) -> MisOutcome {
+    run_ghaffari16_observed(g, params, seed, None)
+}
+
+/// [`run_ghaffari16`] with an optional per-round trace observer attached to
+/// the engine. `None` is exactly the unobserved run.
+pub fn run_ghaffari16_observed(
+    g: &Graph,
+    params: &Ghaffari16Params,
+    seed: u64,
+    observer: Option<SharedObserver>,
+) -> MisOutcome {
     let n = g.node_count();
     let rng = SharedRandomness::new(seed);
     let mut engine = CongestEngine::strict(g, standard_bandwidth(n));
+    if let Some(observer) = observer {
+        engine.attach_observer(observer);
+    }
     let mut pexp = vec![INITIAL_PEXP; n];
     let mut alive = vec![true; n];
     let mut in_mis = vec![false; n];
@@ -218,18 +244,16 @@ pub fn run_ghaffari16(g: &Graph, params: &Ghaffari16Params, seed: u64) -> MisOut
 
         // Round 1: exchange (p-exponent, mark bit) with undecided neighbors.
         let mut round = engine.begin_round::<(u32, bool)>();
-        for v in g.nodes() {
-            if !alive[v.index()] {
-                continue;
-            }
-            for &u in g.neighbors(v) {
-                if alive[u.index()] {
-                    round
-                        .send(v, u, PROBABILITY_EXPONENT_BITS + 1, (pexp[v.index()], marked[v.index()]))
-                        .expect("(p, mark) fits the bandwidth");
-                }
-            }
-        }
+        rounds::broadcast_to_alive_neighbors(
+            &mut round,
+            g,
+            &alive,
+            |v| {
+                let i = v.index();
+                alive[i].then(|| (PROBABILITY_EXPONENT_BITS + 1, (pexp[i], marked[i])))
+            },
+            "(p, mark) fits the bandwidth",
+        );
         let inboxes = round.deliver();
 
         // Per-node update from the delivered inboxes; each inbox is sorted
@@ -245,7 +269,11 @@ pub fn run_ghaffari16(g: &Graph, params: &Ghaffari16Params, seed: u64) -> MisOut
                 d += p_of(pe);
                 neighbor_marked |= m;
             }
-            let next = if d >= 2.0 { halve(pexp[i]) } else { double_capped(pexp[i]) };
+            let next = if d >= 2.0 {
+                halve(pexp[i])
+            } else {
+                double_capped(pexp[i])
+            };
             Some((marked[i] && !neighbor_marked, next))
         });
         let mut joins: Vec<usize> = Vec::new();
@@ -258,16 +286,16 @@ pub fn run_ghaffari16(g: &Graph, params: &Ghaffari16Params, seed: u64) -> MisOut
             }
         }
 
-        // Round 2: joiners announce; joiners and neighbors leave.
+        // Round 2: joiners announce; joiners and neighbors leave. (`joins`
+        // is ascending by construction, so membership is binary-searchable.)
         let mut round = engine.begin_round::<()>();
-        for &i in &joins {
-            let v = NodeId::new(i as u32);
-            for &u in g.neighbors(v) {
-                if alive[u.index()] {
-                    round.send(v, u, 1, ()).expect("join bit fits");
-                }
-            }
-        }
+        rounds::broadcast_to_alive_neighbors(
+            &mut round,
+            g,
+            &alive,
+            |v| joins.binary_search(&v.index()).ok().map(|_| (1, ())),
+            "join bit fits",
+        );
         let inboxes = round.deliver();
         for &i in &joins {
             in_mis[i] = true;
@@ -298,12 +326,26 @@ pub fn run_ghaffari16(g: &Graph, params: &Ghaffari16Params, seed: u64) -> MisOut
 ///
 /// This is the algorithm Theorem 1.1 improves on quadratically.
 pub fn run_ghaffari16_clique(g: &Graph, params: &Ghaffari16Params, seed: u64) -> MisOutcome {
+    run_ghaffari16_clique_observed(g, params, seed, None)
+}
+
+/// [`run_ghaffari16_clique`] with an optional per-round trace observer
+/// attached to the engine. `None` is exactly the unobserved run.
+pub fn run_ghaffari16_clique_observed(
+    g: &Graph,
+    params: &Ghaffari16Params,
+    seed: u64,
+    observer: Option<SharedObserver>,
+) -> MisOutcome {
     let n = g.node_count();
     let rng = SharedRandomness::new(seed);
     let budget = iterations_for_max_degree(g.max_degree(), params.clique_factor);
     let evo = evolve(g, &g.nodes().collect::<Vec<_>>(), rng, budget);
 
     let mut engine = CliqueEngine::strict(n.max(2), standard_bandwidth(n.max(2)));
+    if let Some(observer) = observer {
+        engine.attach_observer(observer);
+    }
     engine.ledger_mut().begin_phase("ghaffari16 iterations");
     // Each iteration costs 2 clique rounds and one (p, mark) exchange over
     // each directed alive edge plus join bits; charge what the CONGEST
@@ -391,7 +433,12 @@ mod tests {
         for seed in 0..5 {
             let g = generators::erdos_renyi_gnp(60, 0.12, seed + 100);
             let out = run_ghaffari16(&g, &Ghaffari16Params::for_graph(&g), seed);
-            let evo = evolve(&g, &g.nodes().collect::<Vec<_>>(), SharedRandomness::new(seed), u64::MAX);
+            let evo = evolve(
+                &g,
+                &g.nodes().collect::<Vec<_>>(),
+                SharedRandomness::new(seed),
+                u64::MAX,
+            );
             assert_eq!(out.mis, evo.mis(), "seed {seed}");
         }
     }
@@ -401,7 +448,10 @@ mod tests {
         for seed in 0..4 {
             let g = generators::erdos_renyi_gnp(120, 0.1, seed);
             let out = run_ghaffari16_clique(&g, &Ghaffari16Params::for_graph(&g), seed);
-            assert!(checks::is_maximal_independent_set(&g, &out.mis), "seed {seed}");
+            assert!(
+                checks::is_maximal_independent_set(&g, &out.mis),
+                "seed {seed}"
+            );
         }
     }
 
@@ -416,7 +466,12 @@ mod tests {
     #[test]
     fn evolve_respects_iteration_budget() {
         let g = generators::complete(30);
-        let evo = evolve(&g, &g.nodes().collect::<Vec<_>>(), SharedRandomness::new(1), 0);
+        let evo = evolve(
+            &g,
+            &g.nodes().collect::<Vec<_>>(),
+            SharedRandomness::new(1),
+            0,
+        );
         assert_eq!(evo.undecided, 30);
         assert!(evo.mis().is_empty());
     }
@@ -424,7 +479,12 @@ mod tests {
     #[test]
     fn evolve_probabilities_drop_in_dense_graphs() {
         let g = generators::complete(64);
-        let evo = evolve(&g, &g.nodes().collect::<Vec<_>>(), SharedRandomness::new(5), 3);
+        let evo = evolve(
+            &g,
+            &g.nodes().collect::<Vec<_>>(),
+            SharedRandomness::new(5),
+            3,
+        );
         // d ≈ 31.5 ≥ 2 initially, so every undecided node halves thrice.
         for v in evo.residual() {
             assert_eq!(evo.pexp[v.index()], 4, "node {v}");

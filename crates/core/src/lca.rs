@@ -115,7 +115,10 @@ impl<'g> MisOracle<'g> {
     ///
     /// Panics if `v` is out of range.
     pub fn query(&self, v: NodeId) -> (MisAnswer, QueryStats) {
-        assert!(v.index() < self.graph.node_count(), "query node out of range");
+        assert!(
+            v.index() < self.graph.node_count(),
+            "query node out of range"
+        );
         let mut iterations = self.initial_iterations;
         let mut attempts = 0u32;
         let mut total_probes = 0usize;

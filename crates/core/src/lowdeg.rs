@@ -15,9 +15,10 @@ use cc_mis_graph::{Graph, GraphBuilder, NodeId};
 use cc_mis_sim::bits::{node_id_bits, standard_bandwidth, COIN_BITS};
 use cc_mis_sim::clique::CliqueEngine;
 use cc_mis_sim::rng::SharedRandomness;
+use cc_mis_sim::SharedObserver;
 
 use crate::cleanup::leader_cleanup;
-use crate::clique_mis::{run_clique_mis, CliqueMisParams};
+use crate::clique_mis::{run_clique_mis_observed, CliqueMisParams};
 use crate::common::{iterations_for_max_degree, MisOutcome};
 use crate::exponentiation::gather_balls;
 use crate::ghaffari16::evolve;
@@ -35,7 +36,9 @@ impl Default for LowDegParams {
         // 3.0 suffices: by Theorem 2.1 nodes decide in ~C log Δ iterations
         // with small C, and whatever survives goes to the clean-up anyway;
         // a larger factor doubles the gather radius for no benefit.
-        LowDegParams { iteration_factor: 3.0 }
+        LowDegParams {
+            iteration_factor: 3.0,
+        }
     }
 }
 
@@ -80,9 +83,23 @@ pub struct LowDegResult {
 /// assert!(checks::is_maximal_independent_set(&g, &out.mis));
 /// ```
 pub fn run_lowdeg(g: &Graph, params: &LowDegParams, seed: u64) -> LowDegResult {
+    run_lowdeg_observed(g, params, seed, None)
+}
+
+/// [`run_lowdeg`] with an optional per-round trace observer attached to the
+/// engine. `None` is exactly the unobserved run.
+pub fn run_lowdeg_observed(
+    g: &Graph,
+    params: &LowDegParams,
+    seed: u64,
+    observer: Option<SharedObserver>,
+) -> LowDegResult {
     let n = g.node_count();
     let rng = SharedRandomness::new(seed);
     let mut engine = CliqueEngine::strict(n.max(2), standard_bandwidth(n.max(2)));
+    if let Some(observer) = observer {
+        engine.attach_observer(observer);
+    }
     let radius = iterations_for_max_degree(g.max_degree(), params.iteration_factor) as usize;
 
     // Gather O(log Δ)-hop balls of G itself. Records carry the edge plus
@@ -94,7 +111,13 @@ pub fn run_lowdeg(g: &Graph, params: &LowDegParams, seed: u64) -> LowDegResult {
     // Radius 2·radius: removal information travels 2 hops per iteration
     // (a neighbor's join depends on *its* neighbors' marks) — see the
     // matching comment in `clique_mis`.
-    let gather = gather_balls(&mut engine, g, &participant, (2 * radius).max(1), record_bits);
+    let gather = gather_balls(
+        &mut engine,
+        g,
+        &participant,
+        (2 * radius).max(1),
+        record_bits,
+    );
 
     // Local replay: every node simulates the dynamic on its ball and reads
     // off its own fate. Accurate for `radius` iterations because the ball
@@ -182,11 +205,21 @@ pub enum Strategy {
 /// assert!(checks::is_maximal_independent_set(&sparse, &out.mis));
 /// ```
 pub fn run_theorem_1_1(g: &Graph, seed: u64) -> (MisOutcome, Strategy) {
+    run_theorem_1_1_observed(g, seed, None)
+}
+
+/// [`run_theorem_1_1`] with an optional per-round trace observer threaded
+/// into whichever branch runs. `None` is exactly the unobserved run.
+pub fn run_theorem_1_1_observed(
+    g: &Graph,
+    seed: u64,
+    observer: Option<SharedObserver>,
+) -> (MisOutcome, Strategy) {
     let n = g.node_count().max(2) as f64;
     let delta = g.max_degree() as f64;
     let threshold = (n.log2().sqrt()).exp2();
     if delta + 1.0 <= threshold {
-        let res = run_lowdeg(g, &LowDegParams::default(), seed);
+        let res = run_lowdeg_observed(g, &LowDegParams::default(), seed, observer);
         (
             MisOutcome {
                 mis: res.mis,
@@ -196,7 +229,7 @@ pub fn run_theorem_1_1(g: &Graph, seed: u64) -> (MisOutcome, Strategy) {
             Strategy::LowDegree,
         )
     } else {
-        let res = run_clique_mis(g, &CliqueMisParams::default(), seed);
+        let res = run_clique_mis_observed(g, &CliqueMisParams::default(), seed, observer);
         (
             MisOutcome {
                 mis: res.mis,
@@ -211,8 +244,8 @@ pub fn run_theorem_1_1(g: &Graph, seed: u64) -> (MisOutcome, Strategy) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cc_mis_graph::{checks, generators, Graph};
     use crate::ghaffari16::evolve as global_evolve;
+    use cc_mis_graph::{checks, generators, Graph};
 
     #[test]
     fn lowdeg_is_mis_on_sparse_families() {
@@ -268,11 +301,7 @@ mod tests {
             res.gather_rounds,
             res.rounds
         );
-        assert!(
-            res.rounds <= 2500,
-            "round envelope blew up: {}",
-            res.rounds
-        );
+        assert!(res.rounds <= 2500, "round envelope blew up: {}", res.rounds);
     }
 
     #[test]

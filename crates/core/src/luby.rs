@@ -14,8 +14,10 @@ use cc_mis_graph::{Graph, NodeId};
 use cc_mis_sim::bits::standard_bandwidth;
 use cc_mis_sim::congest::CongestEngine;
 use cc_mis_sim::rng::{SharedRandomness, Stream};
+use cc_mis_sim::SharedObserver;
 
 use crate::common::MisOutcome;
+use crate::rounds;
 
 /// Parameters for [`run_luby`].
 #[derive(Debug, Clone, Copy)]
@@ -62,9 +64,23 @@ impl LubyParams {
 /// assert!(checks::is_maximal_independent_set(&g, &out.mis));
 /// ```
 pub fn run_luby(g: &Graph, params: &LubyParams, seed: u64) -> MisOutcome {
+    run_luby_observed(g, params, seed, None)
+}
+
+/// [`run_luby`] with an optional per-round trace observer attached to the
+/// engine. `None` is exactly the unobserved run.
+pub fn run_luby_observed(
+    g: &Graph,
+    params: &LubyParams,
+    seed: u64,
+    observer: Option<SharedObserver>,
+) -> MisOutcome {
     let n = g.node_count();
     let rng = SharedRandomness::new(seed);
     let mut engine = CongestEngine::strict(g, standard_bandwidth(n));
+    if let Some(observer) = observer {
+        engine.attach_observer(observer);
+    }
     let mut alive = vec![true; n];
     let mut in_mis = vec![false; n];
     let mut undecided = n;
@@ -82,18 +98,16 @@ pub fn run_luby(g: &Graph, params: &LubyParams, seed: u64) -> MisOutcome {
         let priorities: Vec<u64> = (0..n)
             .map(|v| rng.bits(Stream::Priority, NodeId::new(v as u32), iterations))
             .collect();
-        for v in g.nodes() {
-            if !alive[v.index()] {
-                continue;
-            }
-            for &u in g.neighbors(v) {
-                if alive[u.index()] {
-                    round
-                        .send(v, u, params.priority_bits, priorities[v.index()])
-                        .expect("priority message fits the bandwidth");
-                }
-            }
-        }
+        rounds::broadcast_to_alive_neighbors(
+            &mut round,
+            g,
+            &alive,
+            |v| {
+                let i = v.index();
+                alive[i].then(|| (params.priority_bits, priorities[i]))
+            },
+            "priority message fits the bandwidth",
+        );
         let inboxes = round.deliver();
 
         // Local rule: strict local minimum joins. Ties are broken by id
@@ -105,9 +119,7 @@ pub fn run_luby(g: &Graph, params: &LubyParams, seed: u64) -> MisOutcome {
                 continue;
             }
             let my = (priorities[v.index()], v.raw());
-            let is_min = inboxes[v.index()]
-                .iter()
-                .all(|&(u, pr)| my < (pr, u.raw()));
+            let is_min = inboxes[v.index()].iter().all(|&(u, pr)| my < (pr, u.raw()));
             if is_min {
                 joined[v.index()] = true;
             }
@@ -115,15 +127,13 @@ pub fn run_luby(g: &Graph, params: &LubyParams, seed: u64) -> MisOutcome {
 
         // Round 2: joiners announce; joiners and their neighbors leave.
         let mut round = engine.begin_round::<()>();
-        for v in g.nodes() {
-            if joined[v.index()] {
-                for &u in g.neighbors(v) {
-                    if alive[u.index()] {
-                        round.send(v, u, 1, ()).expect("join bit fits");
-                    }
-                }
-            }
-        }
+        rounds::broadcast_to_alive_neighbors(
+            &mut round,
+            g,
+            &alive,
+            |v| joined[v.index()].then_some((1, ())),
+            "join bit fits",
+        );
         let inboxes = round.deliver();
         for v in g.nodes() {
             if !alive[v.index()] {

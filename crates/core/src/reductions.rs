@@ -91,11 +91,7 @@ impl std::error::Error for UncoloredVertex {}
 /// assert!(checks::is_proper_coloring(&g, &colors, 5));
 /// # Ok::<(), cc_mis_core::reductions::UncoloredVertex>(())
 /// ```
-pub fn coloring_via_mis<F>(
-    g: &Graph,
-    palette: usize,
-    mis: F,
-) -> Result<Vec<usize>, UncoloredVertex>
+pub fn coloring_via_mis<F>(g: &Graph, palette: usize, mis: F) -> Result<Vec<usize>, UncoloredVertex>
 where
     F: FnOnce(&Graph) -> Vec<NodeId>,
 {
@@ -146,8 +142,8 @@ where
 {
     let (lg, edge_of) = line_graph(g);
     let palette = (2 * g.max_degree()).saturating_sub(1).max(1);
-    let colors = coloring_via_mis(&lg, palette, mis)
-        .expect("palette 2Δ-1 ≥ Δ(L)+1 always succeeds");
+    let colors =
+        coloring_via_mis(&lg, palette, mis).expect("palette 2Δ-1 ≥ Δ(L)+1 always succeeds");
     colors
         .into_iter()
         .enumerate()
@@ -214,9 +210,7 @@ mod tests {
     #[test]
     fn matching_via_luby() {
         let g = generators::erdos_renyi_gnp(50, 0.12, 4);
-        let m = maximal_matching_via_mis(&g, |lg| {
-            run_luby(lg, &LubyParams::for_graph(lg), 7).mis
-        });
+        let m = maximal_matching_via_mis(&g, |lg| run_luby(lg, &LubyParams::for_graph(lg), 7).mis);
         assert!(checks::is_maximal_matching(&g, &m));
     }
 
@@ -263,10 +257,7 @@ mod tests {
         for g in &graphs {
             let palette = (2 * g.max_degree()).saturating_sub(1).max(1);
             let colored = edge_coloring_via_mis(g, greedy_mis);
-            assert!(
-                is_proper_edge_coloring(g, &colored, palette),
-                "{g:?}"
-            );
+            assert!(is_proper_edge_coloring(g, &colored, palette), "{g:?}");
         }
     }
 

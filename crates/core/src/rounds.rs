@@ -1,0 +1,108 @@
+//! Shared round-loop helpers for the algorithm runners.
+//!
+//! Every message-passing algorithm in this crate repeats the same send
+//! pattern: iterate the nodes in ascending id order, ask whether the node
+//! sends this round, and deliver the message to every *alive* neighbor
+//! (again in ascending order — the engines' budget fast path and the
+//! deterministic-replay contract both rely on this order). This module
+//! factors that pattern out so the iteration order is written exactly once.
+
+use cc_mis_graph::{Graph, NodeId};
+use cc_mis_sim::runtime::{Round, Transport};
+
+/// Broadcasts per-node messages to alive neighbors over an open round.
+///
+/// For each node `v` of `g` in ascending id order, `message_of(v)` decides
+/// whether `v` sends this round and, if so, returns the declared bit size
+/// and the message; the message is then sent to every neighbor `u` of `v`
+/// (ascending) with `alive[u] == true`. `expect_msg` names the invariant a
+/// failed send would violate (all callers send well within the bandwidth,
+/// so a failure is a bug, not an input condition).
+///
+/// The transport is generic: the same helper drives CONGEST rounds (where
+/// neighbor sends are the only admissible links) and congested-clique
+/// rounds that choose to communicate along graph edges.
+pub(crate) fn broadcast_to_alive_neighbors<T: Transport, M: Clone>(
+    round: &mut Round<'_, T, M>,
+    g: &Graph,
+    alive: &[bool],
+    mut message_of: impl FnMut(NodeId) -> Option<(u64, M)>,
+    expect_msg: &str,
+) {
+    for v in g.nodes() {
+        if let Some((bits, msg)) = message_of(v) {
+            for &u in g.neighbors(v) {
+                if alive[u.index()] {
+                    round.send(v, u, bits, msg.clone()).expect(expect_msg);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_mis_graph::generators;
+    use cc_mis_sim::bits::standard_bandwidth;
+    use cc_mis_sim::congest::CongestEngine;
+
+    #[test]
+    fn helper_matches_manual_loop_exactly() {
+        let g = generators::erdos_renyi_gnp(30, 0.2, 3);
+        let n = g.node_count();
+        let alive: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+
+        let mut manual = CongestEngine::strict(&g, standard_bandwidth(n));
+        let mut round = manual.begin_round::<u32>();
+        for v in g.nodes() {
+            if !alive[v.index()] {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if alive[u.index()] {
+                    round
+                        .send(v, u, 7, v.raw())
+                        .expect("message fits the bandwidth");
+                }
+            }
+        }
+        let manual_inboxes = round.deliver();
+
+        let mut helped = CongestEngine::strict(&g, standard_bandwidth(n));
+        let mut round = helped.begin_round::<u32>();
+        broadcast_to_alive_neighbors(
+            &mut round,
+            &g,
+            &alive,
+            |v| alive[v.index()].then(|| (7, v.raw())),
+            "message fits the bandwidth",
+        );
+        let helped_inboxes = round.deliver();
+
+        assert_eq!(manual_inboxes, helped_inboxes);
+        assert_eq!(manual.ledger().messages, helped.ledger().messages);
+        assert_eq!(manual.ledger().bits, helped.ledger().bits);
+    }
+
+    #[test]
+    fn non_senders_and_dead_receivers_are_skipped() {
+        let g = generators::star(4); // center 0, leaves 1..3
+        let alive = vec![true, true, false, true];
+        let mut engine = CongestEngine::strict(&g, standard_bandwidth(4));
+        let mut round = engine.begin_round::<()>();
+        // Only the center sends.
+        broadcast_to_alive_neighbors(
+            &mut round,
+            &g,
+            &alive,
+            |v| (v.index() == 0).then_some((1, ())),
+            "message fits the bandwidth",
+        );
+        let inboxes = round.deliver();
+        assert_eq!(inboxes[1].len(), 1);
+        assert!(inboxes[2].is_empty(), "dead receiver must get nothing");
+        assert_eq!(inboxes[3].len(), 1);
+        assert_eq!(engine.ledger().messages, 2);
+    }
+}

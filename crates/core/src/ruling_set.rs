@@ -139,10 +139,7 @@ mod tests {
         for g in &graphs {
             for seed in 0..2 {
                 let out = two_ruling_set(g, seed);
-                assert!(
-                    checks::is_k_ruling_set(g, &out.set, 2),
-                    "{g:?} seed {seed}"
-                );
+                assert!(checks::is_k_ruling_set(g, &out.set, 2), "{g:?} seed {seed}");
             }
         }
     }

@@ -39,7 +39,9 @@ use cc_mis_sim::rng::{SharedRandomness, Stream};
 use cc_mis_sim::RoundLedger;
 
 use crate::beeping_mis::{GOLDEN1_D_MAX, GOLDEN2_D_MIN, HEAVY_THRESHOLD};
-use crate::common::{double_capped, halve, iterations_for_max_degree, p_of, MisOutcome, INITIAL_PEXP};
+use crate::common::{
+    double_capped, halve, iterations_for_max_degree, p_of, MisOutcome, INITIAL_PEXP,
+};
 use crate::greedy::greedy_mis_on_residual;
 
 /// Parameters of the sparsified algorithm (shared verbatim with the clique
@@ -236,21 +238,12 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
             });
 
             if params.record_trace {
-                record_trace(
-                    g,
-                    &pexp,
-                    &removed_at,
-                    &super_heavy,
-                    &heard,
-                    &mut trace,
-                );
+                record_trace(g, &pexp, &removed_at, &super_heavy, &heard, &mut trace);
             }
 
             // Joins: not super-heavy, beeping, hearing silence.
             let joins: Vec<usize> = (0..n)
-                .filter(|&i| {
-                    removed_at[i].is_none() && !super_heavy[i] && beeps[i] && !heard[i]
-                })
+                .filter(|&i| removed_at[i].is_none() && !super_heavy[i] && beeps[i] && !heard[i])
                 .collect();
 
             // Probability updates for nodes still on their schedule.
@@ -258,20 +251,24 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
                 if super_heavy[i] {
                     pexp[i] = halve(pexp[i]);
                 } else if removed_at[i].is_none() {
-                    pexp[i] = if heard[i] { halve(pexp[i]) } else { double_capped(pexp[i]) };
+                    pexp[i] = if heard[i] {
+                        halve(pexp[i])
+                    } else {
+                        double_capped(pexp[i])
+                    };
                 }
             }
 
-            // Beep accounting: a beep is one 1-bit message per incident
-            // link (matching BeepingEngine's convention); R2 beeps come
-            // from the joiners.
+            // Beep accounting: a beep is `degree` 1-bit messages, one per
+            // incident link (matching BeepingEngine's convention); R2 beeps
+            // come from the joiners.
             for (i, _) in beeps.iter().enumerate().filter(|(_, &b)| b) {
                 let deg = g.degree(NodeId::new(i as u32)) as u64;
-                ledger.charge_aggregate(1, deg);
+                ledger.charge_aggregate(deg, deg);
             }
             for &i in &joins {
                 let deg = g.degree(NodeId::new(i as u32)) as u64;
-                ledger.charge_aggregate(1, deg);
+                ledger.charge_aggregate(deg, deg);
             }
 
             // Removals (R2).
@@ -323,7 +320,25 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
 /// centralized greedy pass (the reference counterpart of the clique
 /// algorithm's leader clean-up), yielding a complete MIS.
 pub fn run_sparsified_with_cleanup(g: &Graph, params: &SparsifiedParams, seed: u64) -> MisOutcome {
-    let run = run_sparsified(g, params, seed);
+    run_sparsified_with_cleanup_observed(g, params, seed, None)
+}
+
+/// [`run_sparsified_with_cleanup`] with an optional per-round trace
+/// observer. With an observer attached the beeping phase runs through the
+/// real engines ([`run_sparsified_messaged_observed`]) so every round is
+/// traced; without one it runs the global computation, exactly as before.
+/// The two are tested to produce identical trajectories and ledgers, so
+/// tracing changes no reported numbers.
+pub fn run_sparsified_with_cleanup_observed(
+    g: &Graph,
+    params: &SparsifiedParams,
+    seed: u64,
+    observer: Option<cc_mis_sim::SharedObserver>,
+) -> MisOutcome {
+    let run = match observer {
+        None => run_sparsified(g, params, seed),
+        Some(obs) => run_sparsified_messaged_observed(g, params, seed, Some(obs)),
+    };
     let mut alive = vec![false; g.node_count()];
     for &v in &run.residual {
         alive[v.index()] = true;
@@ -333,7 +348,11 @@ pub fn run_sparsified_with_cleanup(g: &Graph, params: &SparsifiedParams, seed: u
         .filter(|&(u, v)| alive[u.index()] && alive[v.index()])
         .collect();
     let mut mis = run.mis;
-    mis.extend(greedy_mis_on_residual(g.node_count(), &alive, &residual_edges));
+    mis.extend(greedy_mis_on_residual(
+        g.node_count(),
+        &alive,
+        &residual_edges,
+    ));
     mis.sort_unstable();
     MisOutcome {
         mis,
@@ -352,6 +371,19 @@ pub fn run_sparsified_with_cleanup(g: &Graph, params: &SparsifiedParams, seed: u
 /// are tested to produce identical trajectories, so the manual accounting
 /// provably matches what a message-level execution does.
 pub fn run_sparsified_messaged(g: &Graph, params: &SparsifiedParams, seed: u64) -> SparsifiedRun {
+    run_sparsified_messaged_observed(g, params, seed, None)
+}
+
+/// [`run_sparsified_messaged`] with an optional per-round trace observer.
+/// The one observer watches both engines (the CONGEST exchanges and the
+/// beeping rounds), in execution order. `None` is exactly the unobserved
+/// run.
+pub fn run_sparsified_messaged_observed(
+    g: &Graph,
+    params: &SparsifiedParams,
+    seed: u64,
+    observer: Option<cc_mis_sim::SharedObserver>,
+) -> SparsifiedRun {
     use cc_mis_sim::beeping::BeepingEngine;
     use cc_mis_sim::bits::{standard_bandwidth, PROBABILITY_EXPONENT_BITS};
     use cc_mis_sim::congest::CongestEngine;
@@ -361,6 +393,10 @@ pub fn run_sparsified_messaged(g: &Graph, params: &SparsifiedParams, seed: u64) 
     let rng = SharedRandomness::new(seed);
     let mut congest = CongestEngine::strict(g, standard_bandwidth(n.max(2)));
     let mut beeping = BeepingEngine::new(g);
+    if let Some(observer) = observer {
+        congest.attach_observer(observer.clone());
+        beeping.attach_observer(observer);
+    }
     let mut pexp = vec![INITIAL_PEXP; n];
     let mut joined_at: Vec<Option<u64>> = vec![None; n];
     let mut removed_at: Vec<Option<u64>> = vec![None; n];
@@ -374,23 +410,18 @@ pub fn run_sparsified_messaged(g: &Graph, params: &SparsifiedParams, seed: u64) 
 
         // Phase-start exchange over the real CONGEST engine.
         let mut round = congest.begin_round::<u32>();
-        for v in g.nodes() {
-            if alive0[v.index()] {
-                for &u in g.neighbors(v) {
-                    if alive0[u.index()] {
-                        round
-                            .send(v, u, PROBABILITY_EXPONENT_BITS, pexp[v.index()])
-                            .expect("p exponent fits");
-                    }
-                }
-            }
-        }
+        crate::rounds::broadcast_to_alive_neighbors(
+            &mut round,
+            g,
+            &alive0,
+            |v| alive0[v.index()].then(|| (PROBABILITY_EXPONENT_BITS, pexp[v.index()])),
+            "p exponent fits",
+        );
         let inboxes = round.deliver();
         let threshold = params.super_heavy_threshold();
         let super_heavy: Vec<bool> = (0..n)
             .map(|i| {
-                alive0[i]
-                    && inboxes[i].iter().map(|&(_, pe)| p_of(pe)).sum::<f64>() >= threshold
+                alive0[i] && inboxes[i].iter().map(|&(_, pe)| p_of(pe)).sum::<f64>() >= threshold
             })
             .collect();
         let sampled = sample_set(g, &rng, &pexp, &alive0, &super_heavy, t0, len);
@@ -414,15 +445,17 @@ pub fn run_sparsified_messaged(g: &Graph, params: &SparsifiedParams, seed: u64) 
             // R1 over the real beeping engine.
             let heard = beeping.round(&beeps);
             let joins: Vec<usize> = (0..n)
-                .filter(|&i| {
-                    removed_at[i].is_none() && !super_heavy[i] && beeps[i] && !heard[i]
-                })
+                .filter(|&i| removed_at[i].is_none() && !super_heavy[i] && beeps[i] && !heard[i])
                 .collect();
             for i in 0..n {
                 if super_heavy[i] {
                     pexp[i] = halve(pexp[i]);
                 } else if removed_at[i].is_none() {
-                    pexp[i] = if heard[i] { halve(pexp[i]) } else { double_capped(pexp[i]) };
+                    pexp[i] = if heard[i] {
+                        halve(pexp[i])
+                    } else {
+                        double_capped(pexp[i])
+                    };
                 }
             }
             // R2: new MIS members beep.
@@ -560,9 +593,7 @@ fn record_trace(
                 .neighbors(NodeId::new(i as u32))
                 .iter()
                 .filter(|u| {
-                    alive[u.index()]
-                        && !super_heavy[u.index()]
-                        && d[u.index()] <= HEAVY_THRESHOLD
+                    alive[u.index()] && !super_heavy[u.index()] && d[u.index()] <= HEAVY_THRESHOLD
                 })
                 .map(|u| p_of(pexp[u.index()]))
                 .sum();
@@ -611,7 +642,9 @@ mod tests {
             if run.removed_at[i].is_some() && run.joined_at[i].is_none() {
                 let v = NodeId::new(i as u32);
                 assert!(
-                    g.neighbors(v).iter().any(|u| run.joined_at[u.index()].is_some()),
+                    g.neighbors(v)
+                        .iter()
+                        .any(|u| run.joined_at[u.index()].is_some()),
                     "node {i}"
                 );
             }
@@ -728,13 +761,25 @@ mod tests {
                     let global = run_sparsified(&g, &params, seed);
                     let messaged = run_sparsified_messaged(&g, &params, seed);
                     assert_eq!(global.joined_at, messaged.joined_at, "{name} P={phase_len}");
-                    assert_eq!(global.removed_at, messaged.removed_at, "{name} P={phase_len}");
+                    assert_eq!(
+                        global.removed_at, messaged.removed_at,
+                        "{name} P={phase_len}"
+                    );
                     assert_eq!(global.pexp, messaged.pexp, "{name} P={phase_len}");
-                    // Same number of model rounds (1 exchange + 2 per
-                    // iteration), however they were accounted.
+                    // The hand-written ledger must match the real-engine
+                    // execution on every counter: same rounds (1 exchange +
+                    // 2 per iteration), same messages, same bits.
                     assert_eq!(
                         global.ledger.rounds, messaged.ledger.rounds,
                         "{name} P={phase_len}: round accounting diverges"
+                    );
+                    assert_eq!(
+                        global.ledger.messages, messaged.ledger.messages,
+                        "{name} P={phase_len}: message accounting diverges"
+                    );
+                    assert_eq!(
+                        global.ledger.bits, messaged.ledger.bits,
+                        "{name} P={phase_len}: bit accounting diverges"
                     );
                 }
             }

@@ -31,11 +31,23 @@ fn multithreaded_runs_are_bit_identical_to_sequential() {
         let seq = with_threads(1, || run_clique_mis(&g, &params, seed));
         let par = with_threads(4, || run_clique_mis(&g, &params, seed));
         assert_eq!(seq.mis, par.mis, "clique MIS diverged (seed {seed})");
-        assert_eq!(seq.rounds, par.rounds, "clique rounds diverged (seed {seed})");
-        assert_eq!(seq.ledger, par.ledger, "clique ledger diverged (seed {seed})");
+        assert_eq!(
+            seq.rounds, par.rounds,
+            "clique rounds diverged (seed {seed})"
+        );
+        assert_eq!(
+            seq.ledger, par.ledger,
+            "clique ledger diverged (seed {seed})"
+        );
         assert_eq!(seq.iterations, par.iterations);
-        assert_eq!(seq.joined_at, par.joined_at, "join times diverged (seed {seed})");
-        assert_eq!(seq.removed_at, par.removed_at, "removal times diverged (seed {seed})");
+        assert_eq!(
+            seq.joined_at, par.joined_at,
+            "join times diverged (seed {seed})"
+        );
+        assert_eq!(
+            seq.removed_at, par.removed_at,
+            "removal times diverged (seed {seed})"
+        );
         assert_eq!(seq.residual_nodes, par.residual_nodes);
         assert_eq!(seq.residual_edges, par.residual_edges);
 

@@ -40,7 +40,10 @@ impl fmt::Display for GraphError {
                 write!(f, "self-loop at {node} is not allowed in a simple graph")
             }
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "{node} is out of range for a graph with {node_count} vertices")
+                write!(
+                    f,
+                    "{node} is out of range for a graph with {node_count} vertices"
+                )
             }
         }
     }
@@ -107,13 +110,21 @@ impl GraphBuilder {
                 });
             }
         }
-        let key = if u < v { (u.raw(), v.raw()) } else { (v.raw(), u.raw()) };
+        let key = if u < v {
+            (u.raw(), v.raw())
+        } else {
+            (v.raw(), u.raw())
+        };
         Ok(self.edges.insert(key))
     }
 
     /// Whether the undirected edge `{u, v}` has been added.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        let key = if u < v { (u.raw(), v.raw()) } else { (v.raw(), u.raw()) };
+        let key = if u < v {
+            (u.raw(), v.raw())
+        } else {
+            (v.raw(), u.raw())
+        };
         self.edges.contains(&key)
     }
 
@@ -144,7 +155,12 @@ mod tests {
     fn self_loop_is_rejected() {
         let mut b = GraphBuilder::new(2);
         let err = b.add_edge(NodeId::new(1), NodeId::new(1)).unwrap_err();
-        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+        assert_eq!(
+            err,
+            GraphError::SelfLoop {
+                node: NodeId::new(1)
+            }
+        );
         assert_eq!(
             err.to_string(),
             "self-loop at v1 is not allowed in a simple graph"
@@ -155,7 +171,10 @@ mod tests {
     fn out_of_range_is_rejected() {
         let mut b = GraphBuilder::new(2);
         let err = b.add_edge(NodeId::new(0), NodeId::new(5)).unwrap_err();
-        assert!(matches!(err, GraphError::NodeOutOfRange { node_count: 2, .. }));
+        assert!(matches!(
+            err,
+            GraphError::NodeOutOfRange { node_count: 2, .. }
+        ));
         assert!(err.to_string().contains("out of range"));
     }
 

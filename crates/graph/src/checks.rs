@@ -110,7 +110,8 @@ pub fn is_proper_coloring(g: &Graph, colors: &[usize], palette: usize) -> bool {
     if colors.iter().any(|&c| c >= palette) {
         return false;
     }
-    g.edges().all(|(u, v)| colors[u.index()] != colors[v.index()])
+    g.edges()
+        .all(|(u, v)| colors[u.index()] != colors[v.index()])
 }
 
 /// Whether `set` is a `k`-ruling set: independent, and every vertex of `g`
@@ -217,14 +218,20 @@ mod tests {
     #[test]
     fn matching_checks() {
         let g = generators::path(4); // 0-1-2-3
-        let m1 = [(NodeId::new(0), NodeId::new(1)), (NodeId::new(2), NodeId::new(3))];
+        let m1 = [
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(2), NodeId::new(3)),
+        ];
         assert!(is_maximal_matching(&g, &m1));
         let m2 = [(NodeId::new(1), NodeId::new(2))];
         assert!(is_matching(&g, &m2));
         assert!(is_maximal_matching(&g, &m2)); // edges {0,1},{2,3} both touch
         let bad = [(NodeId::new(0), NodeId::new(2))]; // not an edge
         assert!(!is_matching(&g, &bad));
-        let overlap = [(NodeId::new(0), NodeId::new(1)), (NodeId::new(1), NodeId::new(2))];
+        let overlap = [
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(1), NodeId::new(2)),
+        ];
         assert!(!is_matching(&g, &overlap));
     }
 

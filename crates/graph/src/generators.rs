@@ -78,7 +78,7 @@ fn unrank_edge(idx: u64, n: u64) -> (u32, u32) {
     let total = n * (n - 1) / 2;
     debug_assert!(idx < total);
     let rev = total - 1 - idx; // index from the end
-    // rev falls in the triangle of size k(k+1)/2 for row n-2-...; invert:
+                               // rev falls in the triangle of size k(k+1)/2 for row n-2-...; invert:
     let k = (((8.0 * rev as f64 + 1.0).sqrt() - 1.0) / 2.0).floor() as u64;
     let mut k = k.min(n - 2);
     while k < n - 2 && (k + 1) * (k + 2) / 2 <= rev {
@@ -111,7 +111,10 @@ pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
     while chosen.len() < m {
         chosen.insert(rng.next_below(total));
     }
-    let edges: Vec<(u32, u32)> = chosen.into_iter().map(|i| unrank_edge(i, n as u64)).collect();
+    let edges: Vec<(u32, u32)> = chosen
+        .into_iter()
+        .map(|i| unrank_edge(i, n as u64))
+        .collect();
     Graph::from_sorted_unique_edges(n, &edges)
 }
 
@@ -155,7 +158,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
 }
 
 fn try_configuration_pairing(n: usize, d: usize, rng: &mut SplitMix64) -> Option<Graph> {
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     rng.shuffle(&mut stubs);
     let mut b = GraphBuilder::new(n);
     for pair in stubs.chunks(2) {
@@ -172,7 +177,9 @@ fn try_configuration_pairing(n: usize, d: usize, rng: &mut SplitMix64) -> Option
 }
 
 fn configuration_with_repair(n: usize, d: usize, rng: &mut SplitMix64) -> Graph {
-    let mut stubs: Vec<u32> = (0..n as u32).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
     rng.shuffle(&mut stubs);
     let mut pairs: Vec<(u32, u32)> = stubs.chunks(2).map(|c| (c[0], c[1])).collect();
     // Repair loop: swap endpoints of conflicting pairs with random partners
@@ -202,7 +209,8 @@ fn configuration_with_repair(n: usize, d: usize, rng: &mut SplitMix64) -> Graph 
     }
     let mut b = GraphBuilder::new(n);
     for (u, v) in pairs {
-        b.add_edge(NodeId::new(u), NodeId::new(v)).expect("repaired pairing is simple");
+        b.add_edge(NodeId::new(u), NodeId::new(v))
+            .expect("repaired pairing is simple");
     }
     b.build()
 }
@@ -226,7 +234,8 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     let m0 = m + 1;
     for u in 0..m0 as u32 {
         for v in (u + 1)..m0 as u32 {
-            b.add_edge(NodeId::new(u), NodeId::new(v)).expect("clique edge");
+            b.add_edge(NodeId::new(u), NodeId::new(v))
+                .expect("clique edge");
             endpoints.push(u);
             endpoints.push(v);
         }
@@ -286,7 +295,8 @@ pub fn chung_lu_power_law(n: usize, beta: f64, avg_degree: f64, seed: u64) -> Gr
         for j in (i + 1)..n {
             let p = (w[i] * w[j] / total_w).min(1.0);
             if p > 0.0 && rng.next_bool(p) {
-                b.add_edge(NodeId::new(i as u32), NodeId::new(j as u32)).expect("CL edge");
+                b.add_edge(NodeId::new(i as u32), NodeId::new(j as u32))
+                    .expect("CL edge");
             }
         }
     }
@@ -307,8 +317,10 @@ pub fn cycle(n: usize) -> Graph {
     if n < 3 {
         return path(n);
     }
-    let edges: Vec<(u32, u32)> =
-        (0..n as u32).map(|i| (i, (i + 1) % n as u32)).map(order_pair).collect();
+    let edges: Vec<(u32, u32)> = (0..n as u32)
+        .map(|i| (i, (i + 1) % n as u32))
+        .map(order_pair)
+        .collect();
     Graph::from_edges(n, edges).expect("cycle edges are valid")
 }
 
@@ -435,7 +447,8 @@ pub fn planted_independent_set(n: usize, p: f64, is_size: usize, seed: u64) -> G
         for v in (u + 1)..n as u32 {
             let both_planted = (u as usize) < is_size && (v as usize) < is_size;
             if !both_planted && rng.next_bool(p) {
-                b.add_edge(NodeId::new(u), NodeId::new(v)).expect("valid edge");
+                b.add_edge(NodeId::new(u), NodeId::new(v))
+                    .expect("valid edge");
             }
         }
     }
@@ -639,7 +652,11 @@ mod tests {
         // Vertex 0 has the largest weight; its degree should be well above
         // the average.
         let d0 = g.degree(NodeId::new(0));
-        assert!(d0 as f64 > g.average_degree(), "d0={d0} avg={}", g.average_degree());
+        assert!(
+            d0 as f64 > g.average_degree(),
+            "d0={d0} avg={}",
+            g.average_degree()
+        );
     }
 
     #[test]

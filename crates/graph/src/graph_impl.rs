@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 /// Identifier of a vertex in a [`Graph`].
 ///
 /// A `NodeId` is an index in `0..n` for a graph with `n` vertices. It is a
@@ -17,9 +16,7 @@ use std::fmt;
 /// let v = NodeId::new(3);
 /// assert_eq!(v.index(), 3);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -395,7 +392,11 @@ mod tests {
     #[test]
     fn adjacency_is_sorted() {
         let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
-        let nbrs: Vec<u32> = g.neighbors(NodeId::new(2)).iter().map(|v| v.raw()).collect();
+        let nbrs: Vec<u32> = g
+            .neighbors(NodeId::new(2))
+            .iter()
+            .map(|v| v.raw())
+            .collect();
         assert_eq!(nbrs, vec![0, 1, 3, 4]);
     }
 

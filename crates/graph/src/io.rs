@@ -221,7 +221,10 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<Graph, ParseGraphError> {
             let u = parse(parts.next())?;
             let v = parse(parts.next())?;
             b.add_edge(NodeId::new(u - 1), NodeId::new(v - 1))
-                .map_err(|source| ParseGraphError::Graph { line: line_no, source })?;
+                .map_err(|source| ParseGraphError::Graph {
+                    line: line_no,
+                    source,
+                })?;
         } else {
             return Err(ParseGraphError::Syntax {
                 line: line_no,
@@ -279,9 +282,15 @@ mod tests {
     #[test]
     fn edge_list_reports_line_numbers() {
         let err = read_edge_list("0 1\nbogus\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, ParseGraphError::Syntax { line: 2, .. }), "{err}");
+        assert!(
+            matches!(err, ParseGraphError::Syntax { line: 2, .. }),
+            "{err}"
+        );
         let err = read_edge_list("n 2\n0 5\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, ParseGraphError::Graph { line: 2, .. }), "{err}");
+        assert!(
+            matches!(err, ParseGraphError::Graph { line: 2, .. }),
+            "{err}"
+        );
         let err = read_edge_list("3 3\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("self-loop"));
     }

@@ -109,7 +109,8 @@ pub fn power(g: &Graph, k: usize) -> Graph {
         for &t in &touched {
             if t != s.index() {
                 let (a, bb) = (s.index().min(t) as u32, s.index().max(t) as u32);
-                b.add_edge(NodeId::new(a), NodeId::new(bb)).expect("power edge");
+                b.add_edge(NodeId::new(a), NodeId::new(bb))
+                    .expect("power edge");
             }
             dist[t] = u32::MAX;
         }
@@ -214,7 +215,8 @@ pub fn line_graph(g: &Graph) -> (Graph, Vec<(NodeId, NodeId)>) {
     for list in &incident {
         for (a, &i) in list.iter().enumerate() {
             for &j in &list[a + 1..] {
-                b.add_edge(NodeId::new(i), NodeId::new(j)).expect("line edge");
+                b.add_edge(NodeId::new(i), NodeId::new(j))
+                    .expect("line edge");
             }
         }
     }

@@ -207,7 +207,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
-        assert_ne!(v, (0..50).collect::<Vec<u32>>(), "shuffle should move things");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<u32>>(),
+            "shuffle should move things"
+        );
     }
 
     #[test]

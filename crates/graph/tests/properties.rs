@@ -59,7 +59,10 @@ fn adjacency_is_symmetric_and_sorted() {
         let (g, _) = gnp_case(case);
         for v in g.nodes() {
             let nbrs = g.neighbors(v);
-            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "case {case}: unsorted at {v}");
+            assert!(
+                nbrs.windows(2).all(|w| w[0] < w[1]),
+                "case {case}: unsorted at {v}"
+            );
             for &u in nbrs {
                 assert!(g.has_edge(u, v), "case {case}: asymmetric {u} {v}");
                 assert_ne!(u, v, "case {case}: self-loop at {v}");
@@ -111,7 +114,11 @@ fn induced_subgraph_is_a_subgraph() {
         // Select ~half the vertices deterministically from mask_seed.
         let verts: Vec<NodeId> = g
             .nodes()
-            .filter(|v| (v.raw() as u64).wrapping_mul(mask_seed + 1).is_multiple_of(2))
+            .filter(|v| {
+                (v.raw() as u64)
+                    .wrapping_mul(mask_seed + 1)
+                    .is_multiple_of(2)
+            })
             .collect();
         let (sub, back) = ops::induced_subgraph(&g, &verts);
         assert_eq!(sub.node_count(), verts.len(), "case {case}");
@@ -160,7 +167,10 @@ fn components_partition_the_graph() {
         }
         let sizes = ops::component_sizes(&g);
         assert_eq!(sizes.iter().sum::<usize>(), g.node_count(), "case {case}");
-        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "case {case}: not sorted desc");
+        assert!(
+            sizes.windows(2).all(|w| w[0] >= w[1]),
+            "case {case}: not sorted desc"
+        );
     }
 }
 
@@ -228,7 +238,10 @@ fn regular_generator_is_regular() {
         let d = if n * d % 2 == 1 { d - 1 } else { d };
         for seed in 0..5 {
             let g = generators::random_regular(n, d, case * 7 + seed);
-            assert!(g.nodes().all(|v| g.degree(v) == d), "case {case} seed {seed}");
+            assert!(
+                g.nodes().all(|v| g.degree(v) == d),
+                "case {case} seed {seed}"
+            );
         }
     }
 }

@@ -4,10 +4,20 @@
 //! (including a beeping one — *full duplex*, see footnote 2 of the paper)
 //! learns whether **at least one of its neighbors** beeped. A node cannot
 //! count beeping neighbors, and does not hear its own beep.
+//!
+//! Rounds execute through the shared [`crate::runtime`] core (the beeping
+//! model has no addressed links, so there is no transport — just the
+//! OR-broadcast of [`crate::runtime::beep_round`] charging the same
+//! [`RoundLedger`] machinery as the other engines).
 
 use cc_mis_graph::{Graph, NodeId};
 
 use crate::metrics::RoundLedger;
+use crate::runtime::{beep_round, Enforcement, RoundCore, SharedObserver};
+
+/// Nominal per-link budget of a beeping round: a beep carries exactly one
+/// bit per incident link.
+const BEEP_BIT: u64 = 1;
 
 /// Simulator of the full-duplex beeping model over a fixed graph.
 ///
@@ -26,7 +36,7 @@ use crate::metrics::RoundLedger;
 #[derive(Debug)]
 pub struct BeepingEngine<'g> {
     graph: &'g Graph,
-    ledger: RoundLedger,
+    core: RoundCore,
 }
 
 impl<'g> BeepingEngine<'g> {
@@ -34,7 +44,7 @@ impl<'g> BeepingEngine<'g> {
     pub fn new(graph: &'g Graph) -> Self {
         BeepingEngine {
             graph,
-            ledger: RoundLedger::new(),
+            core: RoundCore::new(BEEP_BIT, Enforcement::Strict),
         }
     }
 
@@ -43,21 +53,27 @@ impl<'g> BeepingEngine<'g> {
         self.graph
     }
 
-    /// The accumulated ledger. A beep is accounted as a 1-bit message to
-    /// each neighbor (the information-theoretic content an adversary could
-    /// extract per link; the model itself is weaker).
+    /// The accumulated ledger. A beep is accounted as one 1-bit message per
+    /// incident link — `degree` messages of 1 bit each, the
+    /// information-theoretic content an adversary could extract per link
+    /// (the model itself is weaker).
     pub fn ledger(&self) -> &RoundLedger {
-        &self.ledger
+        self.core.ledger()
     }
 
     /// Mutable access to the ledger (for phase labeling).
     pub fn ledger_mut(&mut self) -> &mut RoundLedger {
-        &mut self.ledger
+        self.core.ledger_mut()
     }
 
     /// Consumes the engine, returning the final ledger.
     pub fn into_ledger(self) -> RoundLedger {
-        self.ledger
+        self.core.into_ledger()
+    }
+
+    /// Attaches a per-round trace observer (no-op when absent).
+    pub fn attach_observer(&mut self, observer: SharedObserver) {
+        self.core.attach_observer(observer);
     }
 
     /// Executes one synchronous round: `beeps[v]` says whether node `v`
@@ -68,22 +84,7 @@ impl<'g> BeepingEngine<'g> {
     ///
     /// Panics if `beeps.len()` differs from the node count.
     pub fn round(&mut self, beeps: &[bool]) -> Vec<bool> {
-        assert_eq!(
-            beeps.len(),
-            self.graph.node_count(),
-            "beep vector length must equal the node count"
-        );
-        let mut heard = vec![false; beeps.len()];
-        for v in self.graph.nodes() {
-            if beeps[v.index()] {
-                self.ledger.charge_message(self.graph.degree(v) as u64);
-                for &u in self.graph.neighbors(v) {
-                    heard[u.index()] = true;
-                }
-            }
-        }
-        self.ledger.charge_round();
-        heard
+        beep_round(&mut self.core, self.graph, beeps)
     }
 
     /// Executes one round where only `beepers` beep (sparse interface).
@@ -155,8 +156,9 @@ mod tests {
         let mut e = BeepingEngine::new(&g);
         e.round(&[true, false, false, false, false]);
         assert_eq!(e.ledger().rounds, 1);
-        assert_eq!(e.ledger().messages, 1);
-        assert_eq!(e.ledger().bits, 4); // one beep heard over 4 links
+        // One beep over 4 links: 4 one-bit messages, not 1 four-bit one.
+        assert_eq!(e.ledger().messages, 4);
+        assert_eq!(e.ledger().bits, 4);
     }
 
     #[test]

@@ -4,125 +4,17 @@
 //! Per round, every node may send up to `B` bits to *each* other node
 //! (§1 of the paper, model (3)). The engine is driven round by round: the
 //! algorithm opens a [`CliqueRound`], enqueues sends (each with its declared
-//! encoded size), and calls [`CliqueRound::deliver`], which advances the
+//! encoded size), and calls [`Round::deliver`], which advances the
 //! global clock and returns per-node inboxes.
+//!
+//! The round discipline itself — budget tracking, enforcement, ledger
+//! charges, observer events — lives in the shared [`crate::runtime`]; this
+//! engine only contributes the all-to-all [`CliqueTransport`].
 
-use cc_mis_graph::NodeId;
+use crate::metrics::RoundLedger;
+use crate::runtime::{CliqueTransport, Round, RoundCore, SharedObserver};
 
-use crate::metrics::{BandwidthError, RoundLedger};
-
-/// Map from packed `(src, dst)` keys to cumulative bits, used for per-round
-/// budget enforcement. `send` is called once per message — on dense instances
-/// that is one call per graph edge per round — so this sits on the
-/// simulator's hottest path.
-///
-/// Every round loop in the codebase enqueues messages with non-decreasing
-/// packed keys (sources ascend, each source's destinations ascend), so in the
-/// common case pair membership is a single compare against the last `log`
-/// entry and no hash table exists at all — sends touch only the tail of a
-/// sequentially written vector instead of probing a multi-megabyte table.
-/// The Fibonacci-hashed linear-probe index is built lazily the first time a
-/// round sends out of key order and maps keys to `log` positions thereafter.
-#[derive(Debug, Default)]
-pub(crate) struct PairBits {
-    /// One `(packed key, cumulative bits)` entry per distinct pair seen this
-    /// round, in arrival order.
-    log: Vec<(u64, u64)>,
-    /// Lazily built probe table over packed keys; `u64::MAX` marks an empty
-    /// slot (unreachable as a real key because `src == dst` is rejected).
-    keys: Vec<u64>,
-    /// `log` position for each occupied `keys` slot.
-    idxs: Vec<u32>,
-}
-
-const PAIR_EMPTY: u64 = u64::MAX;
-
-impl PairBits {
-    pub(crate) fn new() -> Self {
-        PairBits::default()
-    }
-
-    #[inline]
-    fn slot(keys: &[u64], key: u64) -> usize {
-        // Fibonacci hashing; table capacity is a power of two.
-        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        (h >> (64 - keys.len().trailing_zeros())) as usize
-    }
-
-    /// The pair's cumulative-bits cell, inserted as 0 if absent — the
-    /// caller checks the budget before committing the new total, so a
-    /// rejected send consumes none of the pair's budget.
-    #[inline]
-    pub(crate) fn entry_or_zero(&mut self, key: u64) -> &mut u64 {
-        if self.keys.is_empty() {
-            match self.log.last() {
-                Some(&(last, _)) if key < last => self.build_table(),
-                Some(&(last, _)) if key == last => {
-                    return &mut self.log.last_mut().expect("log tail exists: key matched it").1;
-                }
-                _ => {
-                    self.log.push((key, 0));
-                    return &mut self.log.last_mut().expect("log tail exists: just pushed").1;
-                }
-            }
-        }
-        self.lookup(key)
-    }
-
-    /// Table-mode path: probe for `key`, appending a fresh zero entry on miss.
-    fn lookup(&mut self, key: u64) -> &mut u64 {
-        if self.log.len() * 4 >= self.keys.len() * 3 {
-            self.rebuild(self.keys.len() * 2);
-        }
-        let mask = self.keys.len() - 1;
-        let mut i = Self::slot(&self.keys, key);
-        loop {
-            let k = self.keys[i];
-            if k == key {
-                let at = self.idxs[i] as usize;
-                return &mut self.log[at].1;
-            }
-            if k == PAIR_EMPTY {
-                self.keys[i] = key;
-                self.idxs[i] = self.log.len() as u32;
-                self.log.push((key, 0));
-                return &mut self.log.last_mut().expect("log tail exists: just pushed").1;
-            }
-            i = (i + 1) & mask;
-        }
-    }
-
-    /// Leaves the monotone fast path: index every pair logged so far.
-    #[cold]
-    fn build_table(&mut self) {
-        self.rebuild(((self.log.len() + 1) * 2).next_power_of_two().max(64));
-    }
-
-    #[cold]
-    fn rebuild(&mut self, cap: usize) {
-        self.keys = vec![PAIR_EMPTY; cap];
-        self.idxs = vec![0; cap];
-        let mask = cap - 1;
-        for (at, &(k, _)) in self.log.iter().enumerate() {
-            let mut i = Self::slot(&self.keys, k);
-            while self.keys[i] != PAIR_EMPTY {
-                i = (i + 1) & mask;
-            }
-            self.keys[i] = k;
-            self.idxs[i] = at as u32;
-        }
-    }
-}
-
-/// Enforcement mode for bandwidth budgets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Enforcement {
-    /// Over-budget sends return [`BandwidthError`].
-    Strict,
-    /// Over-budget sends are delivered but tallied as violations — useful
-    /// for measuring how close an algorithm runs to the budget.
-    Audit,
-}
+pub use crate::runtime::Enforcement;
 
 /// Simulator of the congested-clique model.
 ///
@@ -143,10 +35,12 @@ pub enum Enforcement {
 #[derive(Debug)]
 pub struct CliqueEngine {
     n: usize,
-    bandwidth: u64,
-    enforcement: Enforcement,
-    ledger: RoundLedger,
+    core: RoundCore,
 }
+
+/// One open round on a [`CliqueEngine`]. Dropping the round without calling
+/// [`Round::deliver`] discards it without advancing the clock.
+pub type CliqueRound<'a, M> = Round<'a, CliqueTransport, M>;
 
 impl CliqueEngine {
     /// Creates an engine over `n` nodes with the given per-round
@@ -154,9 +48,7 @@ impl CliqueEngine {
     pub fn new(n: usize, bandwidth: u64, enforcement: Enforcement) -> Self {
         CliqueEngine {
             n,
-            bandwidth,
-            enforcement,
-            ledger: RoundLedger::new(),
+            core: RoundCore::new(bandwidth, enforcement),
         }
     }
 
@@ -177,126 +69,63 @@ impl CliqueEngine {
 
     /// Per-round per-ordered-pair bit budget.
     pub fn bandwidth(&self) -> u64 {
-        self.bandwidth
+        self.core.bandwidth()
     }
 
     /// The accumulated communication ledger.
     pub fn ledger(&self) -> &RoundLedger {
-        &self.ledger
+        self.core.ledger()
     }
 
     /// Mutable access to the ledger (for phase labeling).
     pub fn ledger_mut(&mut self) -> &mut RoundLedger {
-        &mut self.ledger
+        self.core.ledger_mut()
     }
 
     /// Consumes the engine, returning the final ledger.
     pub fn into_ledger(self) -> RoundLedger {
-        self.ledger
+        self.core.into_ledger()
+    }
+
+    /// Attaches a per-round trace observer (no-op when absent).
+    pub fn attach_observer(&mut self, observer: SharedObserver) {
+        self.core.attach_observer(observer);
+    }
+
+    /// The shared round core (for runtime-internal accounting such as the
+    /// Lenzen scheduler's bulk charges).
+    pub(crate) fn core_mut(&mut self) -> &mut RoundCore {
+        &mut self.core
     }
 
     /// Opens the next synchronous round for messages of type `M`.
     pub fn begin_round<M>(&mut self) -> CliqueRound<'_, M> {
-        CliqueRound {
-            engine: self,
-            outbox: Vec::new(),
-            pair_bits: PairBits::new(),
-        }
+        Round::begin(&mut self.core, CliqueTransport { n: self.n })
     }
 
     /// Advances the clock by one round with no messages (e.g., an idle
     /// synchronization round).
     pub fn idle_round(&mut self) {
-        self.ledger.charge_round();
-    }
-}
-
-/// One open round on a [`CliqueEngine`]. Dropping the round without calling
-/// [`CliqueRound::deliver`] discards it without advancing the clock.
-#[derive(Debug)]
-pub struct CliqueRound<'a, M> {
-    engine: &'a mut CliqueEngine,
-    outbox: Vec<(NodeId, NodeId, M)>,
-    pair_bits: PairBits,
-}
-
-impl<'a, M> CliqueRound<'a, M> {
-    /// Enqueues a message of `bits` encoded bits from `src` to `dst`.
-    ///
-    /// # Errors
-    ///
-    /// * [`BandwidthError::InvalidLink`] if `src == dst` or either endpoint
-    ///   is out of range.
-    /// * [`BandwidthError::Exceeded`] (strict mode) if the pair's cumulative
-    ///   bits this round would exceed the budget.
-    pub fn send(&mut self, src: NodeId, dst: NodeId, bits: u64, msg: M) -> Result<(), BandwidthError> {
-        let n = self.engine.n;
-        if src == dst || src.index() >= n || dst.index() >= n {
-            return Err(BandwidthError::InvalidLink {
-                src: src.raw(),
-                dst: dst.raw(),
-            });
-        }
-        let used = self
-            .pair_bits
-            .entry_or_zero((u64::from(src.raw()) << 32) | u64::from(dst.raw()));
-        let attempted = *used + bits;
-        if attempted > self.engine.bandwidth {
-            match self.engine.enforcement {
-                Enforcement::Strict => {
-                    return Err(BandwidthError::Exceeded {
-                        src: src.raw(),
-                        dst: dst.raw(),
-                        attempted,
-                        budget: self.engine.bandwidth,
-                    });
-                }
-                Enforcement::Audit => self.engine.ledger.charge_violation(),
-            }
-        }
-        *used = attempted;
-        self.engine.ledger.charge_message(bits);
-        self.outbox.push((src, dst, msg));
-        Ok(())
-    }
-
-    /// Number of messages enqueued so far this round.
-    pub fn pending(&self) -> usize {
-        self.outbox.len()
-    }
-
-    /// Closes the round: advances the clock and returns, for each node, the
-    /// list of `(sender, message)` pairs it received, sorted by sender.
-    pub fn deliver(self) -> Vec<Vec<(NodeId, M)>> {
-        // Pre-size each inbox so scattered pushes never reallocate.
-        let mut counts = vec![0usize; self.engine.n];
-        for (_, dst, _) in &self.outbox {
-            counts[dst.index()] += 1;
-        }
-        let mut inboxes: Vec<Vec<(NodeId, M)>> =
-            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-        for (src, dst, msg) in self.outbox {
-            inboxes[dst.index()].push((src, msg));
-        }
-        for inbox in &mut inboxes {
-            inbox.sort_by_key(|(src, _)| *src);
-        }
-        self.engine.ledger.charge_round();
-        inboxes
+        self.core.idle_round();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::BandwidthError;
+    use cc_mis_graph::NodeId;
 
     #[test]
     fn basic_delivery_and_ordering() {
         let mut e = CliqueEngine::strict(4, 64);
         let mut r = e.begin_round::<u8>();
-        r.send(NodeId::new(3), NodeId::new(0), 8, 30).expect("send fits the per-pair budget");
-        r.send(NodeId::new(1), NodeId::new(0), 8, 10).expect("send fits the per-pair budget");
-        r.send(NodeId::new(2), NodeId::new(0), 8, 20).expect("send fits the per-pair budget");
+        r.send(NodeId::new(3), NodeId::new(0), 8, 30)
+            .expect("send fits the per-pair budget");
+        r.send(NodeId::new(1), NodeId::new(0), 8, 10)
+            .expect("send fits the per-pair budget");
+        r.send(NodeId::new(2), NodeId::new(0), 8, 20)
+            .expect("send fits the per-pair budget");
         assert_eq!(r.pending(), 3);
         let inboxes = r.deliver();
         let senders: Vec<u32> = inboxes[0].iter().map(|(s, _)| s.raw()).collect();
@@ -315,7 +144,8 @@ mod tests {
         for i in 0..n as u32 {
             for j in 0..n as u32 {
                 if i != j {
-                    r.send(NodeId::new(i), NodeId::new(j), 16, i * 100 + j).expect("send fits the per-pair budget");
+                    r.send(NodeId::new(i), NodeId::new(j), 16, i * 100 + j)
+                        .expect("send fits the per-pair budget");
                 }
             }
         }
@@ -330,15 +160,26 @@ mod tests {
     fn out_of_order_sends_share_one_budget_per_pair() {
         let mut e = CliqueEngine::strict(4, 16);
         let mut r = e.begin_round::<u8>();
-        r.send(NodeId::new(0), NodeId::new(1), 8, 1).expect("send fits the per-pair budget");
-        r.send(NodeId::new(2), NodeId::new(3), 8, 2).expect("send fits the per-pair budget");
+        r.send(NodeId::new(0), NodeId::new(1), 8, 1)
+            .expect("send fits the per-pair budget");
+        r.send(NodeId::new(2), NodeId::new(3), 8, 2)
+            .expect("send fits the per-pair budget");
         // Out of key order: forces the probe-table fallback, which must
         // still see the earlier (0, 1) tally.
-        r.send(NodeId::new(0), NodeId::new(1), 8, 3).expect("send fits the per-pair budget");
+        r.send(NodeId::new(0), NodeId::new(1), 8, 3)
+            .expect("send fits the per-pair budget");
         let err = r.send(NodeId::new(0), NodeId::new(1), 1, 4).unwrap_err();
-        assert!(matches!(err, BandwidthError::Exceeded { attempted: 17, budget: 16, .. }));
+        assert!(matches!(
+            err,
+            BandwidthError::Exceeded {
+                attempted: 17,
+                budget: 16,
+                ..
+            }
+        ));
         // A pair first seen after the fallback still gets a fresh budget.
-        r.send(NodeId::new(1), NodeId::new(0), 16, 5).expect("send fits the per-pair budget");
+        r.send(NodeId::new(1), NodeId::new(0), 16, 5)
+            .expect("send fits the per-pair budget");
         let inboxes = r.deliver();
         assert_eq!(inboxes[1].len(), 2);
         assert_eq!(inboxes[0].len(), 1);
@@ -348,18 +189,28 @@ mod tests {
     fn strict_mode_enforces_budget() {
         let mut e = CliqueEngine::strict(2, 16);
         let mut r = e.begin_round::<()>();
-        r.send(NodeId::new(0), NodeId::new(1), 10, ()).expect("send fits the per-pair budget");
+        r.send(NodeId::new(0), NodeId::new(1), 10, ())
+            .expect("send fits the per-pair budget");
         let err = r.send(NodeId::new(0), NodeId::new(1), 10, ()).unwrap_err();
-        assert!(matches!(err, BandwidthError::Exceeded { attempted: 20, budget: 16, .. }));
+        assert!(matches!(
+            err,
+            BandwidthError::Exceeded {
+                attempted: 20,
+                budget: 16,
+                ..
+            }
+        ));
         // A different pair is unaffected.
-        r.send(NodeId::new(1), NodeId::new(0), 16, ()).expect("send fits the per-pair budget");
+        r.send(NodeId::new(1), NodeId::new(0), 16, ())
+            .expect("send fits the per-pair budget");
     }
 
     #[test]
     fn audit_mode_tallies_but_delivers() {
         let mut e = CliqueEngine::audit(2, 16);
         let mut r = e.begin_round::<u8>();
-        r.send(NodeId::new(0), NodeId::new(1), 100, 1).expect("send fits the per-pair budget");
+        r.send(NodeId::new(0), NodeId::new(1), 100, 1)
+            .expect("send fits the per-pair budget");
         let inboxes = r.deliver();
         assert_eq!(inboxes[1].len(), 1);
         assert_eq!(e.ledger().violations, 1);
@@ -384,7 +235,8 @@ mod tests {
         let mut e = CliqueEngine::strict(2, 16);
         for _ in 0..3 {
             let mut r = e.begin_round::<()>();
-            r.send(NodeId::new(0), NodeId::new(1), 16, ()).expect("send fits the per-pair budget");
+            r.send(NodeId::new(0), NodeId::new(1), 16, ())
+                .expect("send fits the per-pair budget");
             r.deliver();
         }
         assert_eq!(e.ledger().rounds, 3);
@@ -396,7 +248,8 @@ mod tests {
         let mut e = CliqueEngine::strict(2, 16);
         {
             let mut r = e.begin_round::<()>();
-            r.send(NodeId::new(0), NodeId::new(1), 1, ()).expect("send fits the per-pair budget");
+            r.send(NodeId::new(0), NodeId::new(1), 1, ())
+                .expect("send fits the per-pair budget");
             // dropped without deliver
         }
         assert_eq!(e.ledger().rounds, 0);

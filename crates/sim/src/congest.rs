@@ -1,13 +1,14 @@
 //! The CONGEST engine: per-edge `B`-bit messages on a fixed graph.
 //!
-//! Identical round discipline to [`crate::clique::CliqueEngine`], except
-//! messages may only travel along edges of the input graph (§1 of the
-//! paper, model (1)).
+//! Identical round discipline to [`crate::clique::CliqueEngine`] — both are
+//! instantiations of the shared [`crate::runtime`] core — except messages
+//! may only travel along edges of the input graph (§1 of the paper,
+//! model (1)), which is exactly what [`CongestTransport`] encodes.
 
-use cc_mis_graph::{Graph, NodeId};
+use cc_mis_graph::Graph;
 
-use crate::clique::{Enforcement, PairBits};
-use crate::metrics::{BandwidthError, RoundLedger};
+use crate::metrics::RoundLedger;
+use crate::runtime::{CongestTransport, Enforcement, Round, RoundCore, SharedObserver};
 
 /// Simulator of the CONGEST model over a fixed communication graph.
 ///
@@ -30,10 +31,12 @@ use crate::metrics::{BandwidthError, RoundLedger};
 #[derive(Debug)]
 pub struct CongestEngine<'g> {
     graph: &'g Graph,
-    bandwidth: u64,
-    enforcement: Enforcement,
-    ledger: RoundLedger,
+    core: RoundCore,
 }
+
+/// One open round on a [`CongestEngine`]. Dropping the round without
+/// calling [`Round::deliver`] discards it without advancing the clock.
+pub type CongestRound<'a, 'g, M> = Round<'a, CongestTransport<'g>, M>;
 
 impl<'g> CongestEngine<'g> {
     /// Creates an engine over `graph` with the given per-round per-edge
@@ -41,9 +44,7 @@ impl<'g> CongestEngine<'g> {
     pub fn new(graph: &'g Graph, bandwidth: u64, enforcement: Enforcement) -> Self {
         CongestEngine {
             graph,
-            bandwidth,
-            enforcement,
-            ledger: RoundLedger::new(),
+            core: RoundCore::new(bandwidth, enforcement),
         }
     }
 
@@ -65,129 +66,45 @@ impl<'g> CongestEngine<'g> {
 
     /// Per-round per-directed-edge bit budget.
     pub fn bandwidth(&self) -> u64 {
-        self.bandwidth
+        self.core.bandwidth()
     }
 
     /// The accumulated communication ledger.
     pub fn ledger(&self) -> &RoundLedger {
-        &self.ledger
+        self.core.ledger()
     }
 
     /// Mutable access to the ledger (for phase labeling).
     pub fn ledger_mut(&mut self) -> &mut RoundLedger {
-        &mut self.ledger
+        self.core.ledger_mut()
     }
 
     /// Consumes the engine, returning the final ledger.
     pub fn into_ledger(self) -> RoundLedger {
-        self.ledger
+        self.core.into_ledger()
+    }
+
+    /// Attaches a per-round trace observer (no-op when absent).
+    pub fn attach_observer(&mut self, observer: SharedObserver) {
+        self.core.attach_observer(observer);
     }
 
     /// Opens the next synchronous round for messages of type `M`.
     pub fn begin_round<M>(&mut self) -> CongestRound<'_, 'g, M> {
-        CongestRound {
-            engine: self,
-            outbox: Vec::new(),
-            edge_bits: PairBits::new(),
-        }
+        Round::begin(&mut self.core, CongestTransport { graph: self.graph })
     }
 
     /// Advances the clock by one round with no messages.
     pub fn idle_round(&mut self) {
-        self.ledger.charge_round();
-    }
-}
-
-/// One open round on a [`CongestEngine`].
-#[derive(Debug)]
-pub struct CongestRound<'a, 'g, M> {
-    engine: &'a mut CongestEngine<'g>,
-    outbox: Vec<(NodeId, NodeId, M)>,
-    edge_bits: PairBits,
-}
-
-impl<'a, 'g, M: Clone> CongestRound<'a, 'g, M> {
-    /// Enqueues the same message to every neighbor of `src` (a local
-    /// broadcast, the common pattern in CONGEST algorithms).
-    ///
-    /// # Errors
-    ///
-    /// As for [`CongestRound::send`].
-    pub fn broadcast(&mut self, src: NodeId, bits: u64, msg: M) -> Result<(), BandwidthError> {
-        let neighbors: Vec<NodeId> = self.engine.graph.neighbors(src).to_vec();
-        for dst in neighbors {
-            self.send(src, dst, bits, msg.clone())?;
-        }
-        Ok(())
-    }
-}
-
-impl<'a, 'g, M> CongestRound<'a, 'g, M> {
-    /// Enqueues a message of `bits` encoded bits from `src` to its neighbor
-    /// `dst`.
-    ///
-    /// # Errors
-    ///
-    /// * [`BandwidthError::InvalidLink`] if `{src, dst}` is not an edge.
-    /// * [`BandwidthError::Exceeded`] (strict mode) if the directed edge's
-    ///   cumulative bits this round would exceed the budget.
-    pub fn send(&mut self, src: NodeId, dst: NodeId, bits: u64, msg: M) -> Result<(), BandwidthError> {
-        let g = self.engine.graph;
-        let n = g.node_count();
-        if src.index() >= n || dst.index() >= n || !g.has_edge(src, dst) {
-            return Err(BandwidthError::InvalidLink {
-                src: src.raw(),
-                dst: dst.raw(),
-            });
-        }
-        let used = self
-            .edge_bits
-            .entry_or_zero((u64::from(src.raw()) << 32) | u64::from(dst.raw()));
-        let attempted = *used + bits;
-        if attempted > self.engine.bandwidth {
-            match self.engine.enforcement {
-                Enforcement::Strict => {
-                    return Err(BandwidthError::Exceeded {
-                        src: src.raw(),
-                        dst: dst.raw(),
-                        attempted,
-                        budget: self.engine.bandwidth,
-                    });
-                }
-                Enforcement::Audit => self.engine.ledger.charge_violation(),
-            }
-        }
-        *used = attempted;
-        self.engine.ledger.charge_message(bits);
-        self.outbox.push((src, dst, msg));
-        Ok(())
-    }
-
-    /// Closes the round: advances the clock and returns per-node inboxes,
-    /// each sorted by sender.
-    pub fn deliver(self) -> Vec<Vec<(NodeId, M)>> {
-        // Pre-size each inbox so scattered pushes never reallocate.
-        let mut counts = vec![0usize; self.engine.graph.node_count()];
-        for (_, dst, _) in &self.outbox {
-            counts[dst.index()] += 1;
-        }
-        let mut inboxes: Vec<Vec<(NodeId, M)>> =
-            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
-        for (src, dst, msg) in self.outbox {
-            inboxes[dst.index()].push((src, msg));
-        }
-        for inbox in &mut inboxes {
-            inbox.sort_by_key(|(src, _)| *src);
-        }
-        self.engine.ledger.charge_round();
-        inboxes
+        self.core.idle_round();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cc_mis_graph::generators;
+    use crate::metrics::BandwidthError;
+    use cc_mis_graph::{generators, NodeId};
 
     #[test]
     fn only_edges_carry_messages() {

@@ -54,9 +54,11 @@ pub mod clique;
 pub mod congest;
 pub mod metrics;
 pub mod par_nodes;
-pub mod routing;
 pub mod rng;
+pub mod routing;
+pub mod runtime;
 
 pub use metrics::{BandwidthError, RoundLedger};
 pub use par_nodes::par_map_nodes;
 pub use rng::SharedRandomness;
+pub use runtime::{RoundEvent, RoundObserver, SharedObserver};

@@ -7,7 +7,6 @@
 use std::error::Error;
 use std::fmt;
 
-
 /// A per-phase slice of the ledger, labeled by the algorithm.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseRecord {

@@ -109,7 +109,10 @@ mod tests {
         for round in 0..10 {
             for node in 0..10u32 {
                 let v = NodeId::new(node);
-                assert_eq!(a.coin(Stream::Beep, v, round), b.coin(Stream::Beep, v, round));
+                assert_eq!(
+                    a.coin(Stream::Beep, v, round),
+                    b.coin(Stream::Beep, v, round)
+                );
             }
         }
     }

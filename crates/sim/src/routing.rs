@@ -145,7 +145,10 @@ pub(crate) fn route_with<M>(
     for p in &packets {
         for node in [p.src, p.dst] {
             if node.index() >= n {
-                return Err(RoutingError::EndpointOutOfRange { node: node.raw(), n });
+                return Err(RoutingError::EndpointOutOfRange {
+                    node: node.raw(),
+                    n,
+                });
             }
         }
     }
@@ -237,7 +240,10 @@ pub fn route_executed<M>(
     for p in &packets {
         for node in [p.src, p.dst] {
             if node.index() >= n {
-                return Err(RoutingError::EndpointOutOfRange { node: node.raw(), n });
+                return Err(RoutingError::EndpointOutOfRange {
+                    node: node.raw(),
+                    n,
+                });
             }
         }
     }
@@ -262,7 +268,10 @@ pub fn route_executed<M>(
                 last_key = Some(key);
             }
             let bits_left = p.bits.max(1);
-            queues.last_mut().expect("just pushed").push_back((p, bits_left));
+            queues
+                .last_mut()
+                .expect("just pushed")
+                .push_back((p, bits_left));
         }
         while !queues.is_empty() {
             let mut round = engine.begin_round::<bool>();
@@ -459,10 +468,8 @@ fn schedule_batch<M>(
     } else {
         (direct_rounds, direct_msgs, direct_bits)
     };
-    let ledger = engine.ledger_mut();
-    ledger.charge_rounds(rounds);
     // One ledger message per fragment keeps message counts honest.
-    ledger.charge_fragments(msgs, bits);
+    engine.core_mut().record_schedule(rounds, msgs, bits);
     (rounds, use_relay)
 }
 
@@ -482,7 +489,8 @@ mod tests {
     #[test]
     fn empty_request_is_free() {
         let mut e = CliqueEngine::strict(4, 32);
-        let (inboxes, out) = route::<u32>(&mut e, vec![]).expect("routing succeeds: endpoints are in range");
+        let (inboxes, out) =
+            route::<u32>(&mut e, vec![]).expect("routing succeeds: endpoints are in range");
         assert!(inboxes.iter().all(|i| i.is_empty()));
         assert_eq!(out.rounds, 0);
         assert_eq!(e.ledger().rounds, 0);
@@ -491,7 +499,8 @@ mod tests {
     #[test]
     fn single_packet_one_round() {
         let mut e = CliqueEngine::strict(4, 32);
-        let (inboxes, out) = route(&mut e, vec![pkt(0, 2, 16, 7)]).expect("routing succeeds: endpoints are in range");
+        let (inboxes, out) = route(&mut e, vec![pkt(0, 2, 16, 7)])
+            .expect("routing succeeds: endpoints are in range");
         assert_eq!(inboxes[2], vec![pkt(0, 2, 16, 7)]);
         assert_eq!(out.rounds, 1);
         assert_eq!(out.batches, 1);
@@ -500,7 +509,8 @@ mod tests {
     #[test]
     fn self_delivery_is_free() {
         let mut e = CliqueEngine::strict(4, 32);
-        let (inboxes, out) = route(&mut e, vec![pkt(1, 1, 1000, 9)]).expect("routing succeeds: endpoints are in range");
+        let (inboxes, out) = route(&mut e, vec![pkt(1, 1, 1000, 9)])
+            .expect("routing succeeds: endpoints are in range");
         assert_eq!(inboxes[1].len(), 1);
         assert_eq!(out.rounds, 0);
         assert_eq!(e.ledger().bits, 0);
@@ -510,7 +520,8 @@ mod tests {
     fn fragmentation_charges_multiple_slots() {
         let mut e = CliqueEngine::strict(4, 32);
         // 100 bits over a 32-bit link = 4 fragments.
-        let (_, out) = route(&mut e, vec![pkt(0, 1, 100, 0)]).expect("routing succeeds: endpoints are in range");
+        let (_, out) = route(&mut e, vec![pkt(0, 1, 100, 0)])
+            .expect("routing succeeds: endpoints are in range");
         assert_eq!(out.rounds, 4);
         assert_eq!(e.ledger().rounds, 4);
     }
@@ -522,7 +533,8 @@ mod tests {
         // Node 0 sends 16 packets, all to node 1: direct would need 16
         // rounds; the rotor spreads them across relays.
         let packets: Vec<Packet<u32>> = (0..16).map(|i| pkt(0, 1, 32, i)).collect();
-        let (inboxes, out) = route(&mut e, packets).expect("routing succeeds: endpoints are in range");
+        let (inboxes, out) =
+            route(&mut e, packets).expect("routing succeeds: endpoints are in range");
         assert_eq!(inboxes[1].len(), 16);
         assert!(out.used_relay);
         assert!(
@@ -565,7 +577,8 @@ mod tests {
             }
         }
         // dst 0 receives 24 > n = 4 packets ⇒ at least 6 batches by dst cap.
-        let (inboxes, out) = route(&mut e, packets).expect("routing succeeds: endpoints are in range");
+        let (inboxes, out) =
+            route(&mut e, packets).expect("routing succeeds: endpoints are in range");
         assert_eq!(inboxes[0].len(), 24);
         assert!(out.batches >= 6, "got {} batches", out.batches);
     }
@@ -574,7 +587,10 @@ mod tests {
     fn endpoints_validated() {
         let mut e = CliqueEngine::strict(4, 32);
         let err = route(&mut e, vec![pkt(0, 9, 8, 0)]).unwrap_err();
-        assert!(matches!(err, RoutingError::EndpointOutOfRange { node: 9, .. }));
+        assert!(matches!(
+            err,
+            RoutingError::EndpointOutOfRange { node: 9, .. }
+        ));
         assert!(err.to_string().contains("v9"));
     }
 
@@ -582,7 +598,8 @@ mod tests {
     fn inboxes_sorted_by_source() {
         let mut e = CliqueEngine::strict(8, 32);
         let packets = vec![pkt(5, 0, 8, 0), pkt(2, 0, 8, 0), pkt(7, 0, 8, 0)];
-        let (inboxes, _) = route(&mut e, packets).expect("routing succeeds: endpoints are in range");
+        let (inboxes, _) =
+            route(&mut e, packets).expect("routing succeeds: endpoints are in range");
         let srcs: Vec<u32> = inboxes[0].iter().map(|p| p.src.raw()).collect();
         assert_eq!(srcs, vec![2, 5, 7]);
     }
@@ -601,7 +618,8 @@ mod tests {
         ];
         let expected_rounds = 5;
         let mut e = CliqueEngine::strict(n, b);
-        let (inboxes, rounds) = route_executed(&mut e, packets).expect("routing succeeds: endpoints are in range");
+        let (inboxes, rounds) =
+            route_executed(&mut e, packets).expect("routing succeeds: endpoints are in range");
         assert_eq!(rounds, expected_rounds);
         assert_eq!(e.ledger().rounds, expected_rounds);
         assert_eq!(inboxes[1].len(), 2);
@@ -627,9 +645,11 @@ mod tests {
         // Same packet multiset in, same inboxes out (payload-for-payload).
         let n = 10;
         let mut e1 = CliqueEngine::strict(n, 32);
-        let (a, _) = route(&mut e1, spread_workload(n)).expect("routing succeeds: endpoints are in range");
+        let (a, _) =
+            route(&mut e1, spread_workload(n)).expect("routing succeeds: endpoints are in range");
         let mut e2 = CliqueEngine::strict(n, 32);
-        let (b, _) = route_executed(&mut e2, spread_workload(n)).expect("routing succeeds: endpoints are in range");
+        let (b, _) = route_executed(&mut e2, spread_workload(n))
+            .expect("routing succeeds: endpoints are in range");
         assert_eq!(a, b);
     }
 
@@ -654,7 +674,8 @@ mod tests {
             }
             let run = |choice: ScheduleChoice, packets: Vec<Packet<u32>>| {
                 let mut e = CliqueEngine::strict(n, 32);
-                let (inboxes, out) = route_with(&mut e, packets, choice).expect("routing succeeds: endpoints are in range");
+                let (inboxes, out) = route_with(&mut e, packets, choice)
+                    .expect("routing succeeds: endpoints are in range");
                 assert_eq!(
                     e.ledger().rounds,
                     out.rounds,
@@ -670,14 +691,12 @@ mod tests {
                     .collect();
                 (payloads, out.rounds, e.ledger().messages, e.ledger().bits)
             };
-            let (direct, d_rounds, d_msgs, d_bits) =
-                run(ScheduleChoice::Direct, packets.clone());
+            let (direct, d_rounds, d_msgs, d_bits) = run(ScheduleChoice::Direct, packets.clone());
             let (relay, r_rounds, r_msgs, r_bits) = run(ScheduleChoice::Relay, packets.clone());
             assert_eq!(direct, relay, "case {case}: inbox payload multisets differ");
             // Determinism of the charges: re-running either schedule on the
             // same workload reproduces rounds, messages, and bits exactly.
-            let (_, d_rounds2, d_msgs2, d_bits2) =
-                run(ScheduleChoice::Direct, packets.clone());
+            let (_, d_rounds2, d_msgs2, d_bits2) = run(ScheduleChoice::Direct, packets.clone());
             assert_eq!((d_rounds, d_msgs, d_bits), (d_rounds2, d_msgs2, d_bits2));
             let (_, r_rounds2, r_msgs2, r_bits2) = run(ScheduleChoice::Relay, packets.clone());
             assert_eq!((r_rounds, r_msgs, r_bits), (r_rounds2, r_msgs2, r_bits2));
@@ -693,7 +712,8 @@ mod tests {
         // The executed path goes through strict CliqueRound sends; a giant
         // packet must still be fragmented, never over-budget.
         let mut e = CliqueEngine::strict(4, 16);
-        let (inboxes, rounds) = route_executed(&mut e, vec![pkt(0, 1, 1000, 0)]).expect("routing succeeds: endpoints are in range");
+        let (inboxes, rounds) = route_executed(&mut e, vec![pkt(0, 1, 1000, 0)])
+            .expect("routing succeeds: endpoints are in range");
         assert_eq!(inboxes[1].len(), 1);
         assert_eq!(rounds, 63); // ceil(1000/16)
         assert_eq!(e.ledger().violations, 0);
@@ -702,7 +722,8 @@ mod tests {
     #[test]
     fn ledger_reflects_schedule() {
         let mut e = CliqueEngine::strict(4, 32);
-        route(&mut e, vec![pkt(0, 1, 32, 0), pkt(2, 3, 32, 0)]).expect("routing succeeds: endpoints are in range");
+        route(&mut e, vec![pkt(0, 1, 32, 0), pkt(2, 3, 32, 0)])
+            .expect("routing succeeds: endpoints are in range");
         // Both packets fit in parallel: 1 round, 2 messages, 64 bits.
         assert_eq!(e.ledger().rounds, 1);
         assert_eq!(e.ledger().messages, 2);

@@ -1,0 +1,690 @@
+//! The unified round runtime shared by all three model engines.
+//!
+//! The paper's three communication models — CONGEST (§1, model (1)),
+//! CONGESTED-CLIQUE (model (3)), and full-duplex beeping (§2.2) — run the
+//! *same* synchronous round discipline and differ only in **which ordered
+//! pairs may carry a message** and **what a round's budget means**. This
+//! module factors that shared discipline into one place:
+//!
+//! * [`Transport`] — the per-model admissibility policy (any ordered pair
+//!   for the clique, graph edges for CONGEST). The beeping model has no
+//!   addressed links at all; its rounds are executed by [`beep_round`],
+//!   which shares the same [`RoundCore`] accounting.
+//! * [`RoundCore`] — owns the [`RoundLedger`], the [`Enforcement`] mode,
+//!   the per-ordered-pair bandwidth budget, and the optional
+//!   [`RoundObserver`]. **Every** `RoundLedger` charge in `crates/sim`
+//!   happens here (enforced by conformance rule R9), so the accounting
+//!   semantics cannot drift between engines.
+//! * [`Round`] — one open synchronous round, generic over the transport
+//!   and the message type. It owns the [`PairBits`] budget log and the
+//!   outbox, and performs the charge sequence that used to be duplicated
+//!   verbatim across the clique and CONGEST engines.
+//! * [`RoundObserver`] / [`RoundEvent`] — a structured per-round trace
+//!   hook, no-op by default. Observer-only quantities (max per-pair load,
+//!   inbox-size histogram) are computed **only when an observer is
+//!   attached**, so an unobserved run does no extra work.
+//!
+//! The concrete engines ([`crate::clique::CliqueEngine`],
+//! [`crate::congest::CongestEngine`], [`crate::beeping::BeepingEngine`])
+//! are thin instantiations of this core and keep their historical public
+//! APIs.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use cc_mis_graph::{Graph, NodeId};
+
+use crate::metrics::{BandwidthError, RoundLedger};
+
+/// Enforcement mode for bandwidth budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enforcement {
+    /// Over-budget sends return [`BandwidthError`].
+    Strict,
+    /// Over-budget sends are delivered but tallied as violations — useful
+    /// for measuring how close an algorithm runs to the budget.
+    Audit,
+}
+
+/// Map from packed `(src, dst)` keys to cumulative bits, used for per-round
+/// budget enforcement. `send` is called once per message — on dense instances
+/// that is one call per graph edge per round — so this sits on the
+/// simulator's hottest path.
+///
+/// Every round loop in the codebase enqueues messages with non-decreasing
+/// packed keys (sources ascend, each source's destinations ascend), so in the
+/// common case pair membership is a single compare against the last `log`
+/// entry and no hash table exists at all — sends touch only the tail of a
+/// sequentially written vector instead of probing a multi-megabyte table.
+/// The Fibonacci-hashed linear-probe index is built lazily the first time a
+/// round sends out of key order and maps keys to `log` positions thereafter.
+#[derive(Debug, Default)]
+pub(crate) struct PairBits {
+    /// One `(packed key, cumulative bits)` entry per distinct pair seen this
+    /// round, in arrival order.
+    log: Vec<(u64, u64)>,
+    /// Lazily built probe table over packed keys; `u64::MAX` marks an empty
+    /// slot (unreachable as a real key because `src == dst` is rejected).
+    keys: Vec<u64>,
+    /// `log` position for each occupied `keys` slot.
+    idxs: Vec<u32>,
+}
+
+const PAIR_EMPTY: u64 = u64::MAX;
+
+impl PairBits {
+    pub(crate) fn new() -> Self {
+        PairBits::default()
+    }
+
+    #[inline]
+    fn slot(keys: &[u64], key: u64) -> usize {
+        // Fibonacci hashing; table capacity is a power of two.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - keys.len().trailing_zeros())) as usize
+    }
+
+    /// The pair's cumulative-bits cell, inserted as 0 if absent — the
+    /// caller checks the budget before committing the new total, so a
+    /// rejected send consumes none of the pair's budget.
+    #[inline]
+    pub(crate) fn entry_or_zero(&mut self, key: u64) -> &mut u64 {
+        if self.keys.is_empty() {
+            match self.log.last() {
+                Some(&(last, _)) if key < last => self.build_table(),
+                Some(&(last, _)) if key == last => {
+                    return &mut self
+                        .log
+                        .last_mut()
+                        .expect("log tail exists: key matched it")
+                        .1;
+                }
+                _ => {
+                    self.log.push((key, 0));
+                    return &mut self.log.last_mut().expect("log tail exists: just pushed").1;
+                }
+            }
+        }
+        self.lookup(key)
+    }
+
+    /// Table-mode path: probe for `key`, appending a fresh zero entry on miss.
+    fn lookup(&mut self, key: u64) -> &mut u64 {
+        if self.log.len() * 4 >= self.keys.len() * 3 {
+            self.rebuild(self.keys.len() * 2);
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = Self::slot(&self.keys, key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                let at = self.idxs[i] as usize;
+                return &mut self.log[at].1;
+            }
+            if k == PAIR_EMPTY {
+                self.keys[i] = key;
+                self.idxs[i] = self.log.len() as u32;
+                self.log.push((key, 0));
+                return &mut self.log.last_mut().expect("log tail exists: just pushed").1;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Leaves the monotone fast path: index every pair logged so far.
+    #[cold]
+    fn build_table(&mut self) {
+        self.rebuild(((self.log.len() + 1) * 2).next_power_of_two().max(64));
+    }
+
+    #[cold]
+    fn rebuild(&mut self, cap: usize) {
+        self.keys = vec![PAIR_EMPTY; cap];
+        self.idxs = vec![0; cap];
+        let mask = cap - 1;
+        for (at, &(k, _)) in self.log.iter().enumerate() {
+            let mut i = Self::slot(&self.keys, k);
+            while self.keys[i] != PAIR_EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = k;
+            self.idxs[i] = at as u32;
+        }
+    }
+}
+
+/// The per-model link-admissibility policy: the *only* behavior that
+/// differs between the clique and CONGEST engines.
+///
+/// | Model            | Transport                  | Admissible `(src, dst)`            |
+/// |------------------|----------------------------|------------------------------------|
+/// | CONGESTED-CLIQUE | [`CliqueTransport`]        | any ordered pair, `src != dst`     |
+/// | CONGEST          | [`CongestTransport`]       | directed versions of graph edges   |
+/// | beeping          | *(none — see [`beep_round`])* | 1-bit OR-broadcast to neighbors |
+pub trait Transport {
+    /// Number of nodes in the network.
+    fn node_count(&self) -> usize;
+
+    /// Checks whether `src -> dst` may carry a message in this model.
+    fn check_link(&self, src: NodeId, dst: NodeId) -> Result<(), BandwidthError>;
+}
+
+/// Transport of the congested clique: every ordered pair of distinct,
+/// in-range nodes is a link.
+#[derive(Debug, Clone, Copy)]
+pub struct CliqueTransport {
+    /// Number of nodes.
+    pub n: usize,
+}
+
+impl Transport for CliqueTransport {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn check_link(&self, src: NodeId, dst: NodeId) -> Result<(), BandwidthError> {
+        if src == dst || src.index() >= self.n || dst.index() >= self.n {
+            return Err(BandwidthError::InvalidLink {
+                src: src.raw(),
+                dst: dst.raw(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Transport of the CONGEST model: only directed versions of the graph's
+/// edges are links.
+#[derive(Debug, Clone, Copy)]
+pub struct CongestTransport<'g> {
+    /// The communication graph.
+    pub graph: &'g Graph,
+}
+
+impl Transport for CongestTransport<'_> {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn check_link(&self, src: NodeId, dst: NodeId) -> Result<(), BandwidthError> {
+        let n = self.graph.node_count();
+        if src.index() >= n || dst.index() >= n || !self.graph.has_edge(src, dst) {
+            return Err(BandwidthError::InvalidLink {
+                src: src.raw(),
+                dst: dst.raw(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One structured per-round trace event, emitted to a [`RoundObserver`]
+/// when a round closes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundEvent {
+    /// What closed the round: `"deliver"` (addressed round), `"beep"`
+    /// (beeping round), `"idle"` (clock-only round), or `"bulk"` (an
+    /// analytically scheduled block of rounds, e.g. the Lenzen router).
+    pub kind: &'static str,
+    /// Label of the ledger phase the round was charged to, if any.
+    pub phase: Option<String>,
+    /// Cumulative round index *after* this event (1-based; for `"bulk"`
+    /// events the index after the whole block).
+    pub round: u64,
+    /// Messages charged by this round (or block of rounds).
+    pub messages: u64,
+    /// Bits charged by this round (or block of rounds).
+    pub bits: u64,
+    /// Largest cumulative per-ordered-pair bit load of the round. Computed
+    /// only when an observer is attached; 0 for idle/beep/bulk rounds.
+    pub max_pair_load: u64,
+    /// Cumulative budget violations observed so far (audit mode).
+    pub violations: u64,
+    /// `(inbox size, node count)` pairs, ascending by size. Computed only
+    /// when an observer is attached; empty for idle/beep/bulk rounds.
+    pub inbox_histogram: Vec<(usize, usize)>,
+}
+
+/// Structured per-round trace hook. The default configuration has no
+/// observer attached and pays nothing for the hook's existence.
+pub trait RoundObserver {
+    /// Called once per closed round (or per bulk-scheduled block).
+    fn on_event(&mut self, event: &RoundEvent);
+}
+
+/// A shareable observer handle: one sink can watch several engines (e.g.
+/// the CONGEST and beeping engines of the sparsified algorithm).
+pub type SharedObserver = Rc<RefCell<dyn RoundObserver>>;
+
+/// The transport-independent heart of an engine: bandwidth budget,
+/// enforcement mode, ledger, and the optional observer.
+///
+/// All `RoundLedger` charging in `crates/sim` funnels through this type
+/// (conformance rule R9), which is what makes the "ledger accounting is
+/// identical across engines" guarantee checkable.
+pub struct RoundCore {
+    bandwidth: u64,
+    enforcement: Enforcement,
+    ledger: RoundLedger,
+    observer: Option<SharedObserver>,
+}
+
+impl fmt::Debug for RoundCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoundCore")
+            .field("bandwidth", &self.bandwidth)
+            .field("enforcement", &self.enforcement)
+            .field("ledger", &self.ledger)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl RoundCore {
+    /// Creates a core with the given per-round per-ordered-pair `bandwidth`
+    /// (bits) and enforcement mode.
+    pub fn new(bandwidth: u64, enforcement: Enforcement) -> Self {
+        RoundCore {
+            bandwidth,
+            enforcement,
+            ledger: RoundLedger::new(),
+            observer: None,
+        }
+    }
+
+    /// Per-round per-ordered-pair bit budget.
+    pub fn bandwidth(&self) -> u64 {
+        self.bandwidth
+    }
+
+    /// The enforcement mode.
+    pub fn enforcement(&self) -> Enforcement {
+        self.enforcement
+    }
+
+    /// The accumulated communication ledger.
+    pub fn ledger(&self) -> &RoundLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the ledger (for phase labeling).
+    pub fn ledger_mut(&mut self) -> &mut RoundLedger {
+        &mut self.ledger
+    }
+
+    /// Consumes the core, returning the final ledger.
+    pub fn into_ledger(self) -> RoundLedger {
+        self.ledger
+    }
+
+    /// Attaches a per-round observer (replacing any previous one).
+    pub fn attach_observer(&mut self, observer: SharedObserver) {
+        self.observer = Some(observer);
+    }
+
+    /// Whether an observer is attached (observer-only diagnostics are
+    /// skipped entirely when this is false).
+    pub fn observing(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Advances the clock by one message-free round.
+    pub fn idle_round(&mut self) {
+        let start_messages = self.ledger.messages;
+        let start_bits = self.ledger.bits;
+        self.ledger.charge_round();
+        self.emit("idle", 0, Vec::new(), start_messages, start_bits);
+    }
+
+    /// Records an analytically scheduled block of `rounds` rounds carrying
+    /// `messages` messages of `bits` total bits (the Lenzen scheduler
+    /// accounts whole batches at once; one ledger message per fragment
+    /// keeps message counts honest).
+    pub fn record_schedule(&mut self, rounds: u64, messages: u64, bits: u64) {
+        self.ledger.charge_rounds(rounds);
+        self.ledger.charge_fragments(messages, bits);
+        self.emit_raw("bulk", messages, bits, 0, Vec::new());
+    }
+
+    /// Closes a round: one clock tick, then a trace event whose message and
+    /// bit counts are the deltas since the round opened.
+    fn finish_round(
+        &mut self,
+        kind: &'static str,
+        max_pair_load: u64,
+        inbox_histogram: Vec<(usize, usize)>,
+        start_messages: u64,
+        start_bits: u64,
+    ) {
+        self.ledger.charge_round();
+        self.emit(
+            kind,
+            max_pair_load,
+            inbox_histogram,
+            start_messages,
+            start_bits,
+        );
+    }
+
+    fn emit(
+        &mut self,
+        kind: &'static str,
+        max_pair_load: u64,
+        inbox_histogram: Vec<(usize, usize)>,
+        start_messages: u64,
+        start_bits: u64,
+    ) {
+        let messages = self.ledger.messages - start_messages;
+        let bits = self.ledger.bits - start_bits;
+        self.emit_raw(kind, messages, bits, max_pair_load, inbox_histogram);
+    }
+
+    fn emit_raw(
+        &mut self,
+        kind: &'static str,
+        messages: u64,
+        bits: u64,
+        max_pair_load: u64,
+        inbox_histogram: Vec<(usize, usize)>,
+    ) {
+        if let Some(observer) = &self.observer {
+            let event = RoundEvent {
+                kind,
+                phase: self.ledger.phases.last().map(|p| p.label.clone()),
+                round: self.ledger.rounds,
+                messages,
+                bits,
+                max_pair_load,
+                violations: self.ledger.violations,
+                inbox_histogram,
+            };
+            observer.borrow_mut().on_event(&event);
+        }
+    }
+}
+
+/// One open synchronous round, generic over the transport and the message
+/// type. Dropping the round without calling [`Round::deliver`] discards it
+/// without advancing the clock.
+#[derive(Debug)]
+pub struct Round<'a, T, M> {
+    core: &'a mut RoundCore,
+    transport: T,
+    outbox: Vec<(NodeId, NodeId, M)>,
+    pair_bits: PairBits,
+    /// Largest committed per-pair cumulative load this round, tracked
+    /// incrementally (observer diagnostics; stays 0 when unobserved).
+    max_load: u64,
+    start_messages: u64,
+    start_bits: u64,
+}
+
+impl<'a, T: Transport, M> Round<'a, T, M> {
+    /// Opens a round on `core` over `transport`.
+    pub(crate) fn begin(core: &'a mut RoundCore, transport: T) -> Self {
+        let start_messages = core.ledger.messages;
+        let start_bits = core.ledger.bits;
+        Round {
+            core,
+            transport,
+            outbox: Vec::new(),
+            pair_bits: PairBits::new(),
+            max_load: 0,
+            start_messages,
+            start_bits,
+        }
+    }
+
+    /// Enqueues a message of `bits` encoded bits from `src` to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// * [`BandwidthError::InvalidLink`] if the transport does not admit
+    ///   `src -> dst` (clique: `src == dst` or out of range; CONGEST: not
+    ///   an edge).
+    /// * [`BandwidthError::Exceeded`] (strict mode) if the pair's cumulative
+    ///   bits this round would exceed the budget.
+    pub fn send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bits: u64,
+        msg: M,
+    ) -> Result<(), BandwidthError> {
+        self.transport.check_link(src, dst)?;
+        let used = self
+            .pair_bits
+            .entry_or_zero((u64::from(src.raw()) << 32) | u64::from(dst.raw()));
+        let attempted = *used + bits;
+        if attempted > self.core.bandwidth {
+            match self.core.enforcement {
+                Enforcement::Strict => {
+                    return Err(BandwidthError::Exceeded {
+                        src: src.raw(),
+                        dst: dst.raw(),
+                        attempted,
+                        budget: self.core.bandwidth,
+                    });
+                }
+                Enforcement::Audit => self.core.ledger.charge_violation(),
+            }
+        }
+        *used = attempted;
+        // Unconditional predictable compare: cheaper than re-checking
+        // `observing()` per send, and free enough to leave on always.
+        if attempted > self.max_load {
+            self.max_load = attempted;
+        }
+        self.core.ledger.charge_message(bits);
+        self.outbox.push((src, dst, msg));
+        Ok(())
+    }
+
+    /// Number of messages enqueued so far this round.
+    pub fn pending(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Closes the round: advances the clock and returns, for each node, the
+    /// list of `(sender, message)` pairs it received, sorted by sender.
+    pub fn deliver(self) -> Vec<Vec<(NodeId, M)>> {
+        // Pre-size each inbox so scattered pushes never reallocate.
+        let mut counts = vec![0usize; self.transport.node_count()];
+        for (_, dst, _) in &self.outbox {
+            counts[dst.index()] += 1;
+        }
+        let mut inboxes: Vec<Vec<(NodeId, M)>> =
+            counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (src, dst, msg) in self.outbox {
+            inboxes[dst.index()].push((src, msg));
+        }
+        for inbox in &mut inboxes {
+            inbox.sort_by_key(|(src, _)| *src);
+        }
+        let (max_pair_load, histogram) = if self.core.observing() {
+            (self.max_load, inbox_histogram(&counts))
+        } else {
+            (0, Vec::new())
+        };
+        self.core.finish_round(
+            "deliver",
+            max_pair_load,
+            histogram,
+            self.start_messages,
+            self.start_bits,
+        );
+        inboxes
+    }
+}
+
+impl<'a, 'g, M: Clone> Round<'a, CongestTransport<'g>, M> {
+    /// Enqueues the same message to every neighbor of `src` (a local
+    /// broadcast, the common pattern in CONGEST algorithms).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Round::send`].
+    pub fn broadcast(&mut self, src: NodeId, bits: u64, msg: M) -> Result<(), BandwidthError> {
+        let neighbors: Vec<NodeId> = self.transport.graph.neighbors(src).to_vec();
+        for dst in neighbors {
+            self.send(src, dst, bits, msg.clone())?;
+        }
+        Ok(())
+    }
+}
+
+/// Executes one beeping round on the shared core: `beeps[v]` says whether
+/// node `v` beeps; the result says, per node, whether it heard at least one
+/// *neighbor* beep (full duplex: independent of its own beep).
+///
+/// A beep is accounted as one 1-bit message per incident link — `degree`
+/// messages of 1 bit each, the information an adversary could extract per
+/// link (the model itself is weaker).
+///
+/// # Panics
+///
+/// Panics if `beeps.len()` differs from the node count.
+pub(crate) fn beep_round(core: &mut RoundCore, graph: &Graph, beeps: &[bool]) -> Vec<bool> {
+    assert_eq!(
+        beeps.len(),
+        graph.node_count(),
+        "beep vector length must equal the node count"
+    );
+    let start_messages = core.ledger.messages;
+    let start_bits = core.ledger.bits;
+    let mut heard = vec![false; beeps.len()];
+    for v in graph.nodes() {
+        if beeps[v.index()] {
+            let degree = graph.degree(v) as u64;
+            core.ledger.charge_fragments(degree, degree);
+            for &u in graph.neighbors(v) {
+                heard[u.index()] = true;
+            }
+        }
+    }
+    core.finish_round("beep", 0, Vec::new(), start_messages, start_bits);
+    heard
+}
+
+/// `(inbox size, node count)` pairs, ascending by size. Counting-bucket
+/// pass (no sort): inbox sizes are bounded by the node count, so the
+/// bucket array stays small and the observed path costs `O(n + max)`.
+fn inbox_histogram(counts: &[usize]) -> Vec<(usize, usize)> {
+    let Some(&max) = counts.iter().max() else {
+        return Vec::new();
+    };
+    let mut buckets = vec![0usize; max + 1];
+    for &size in counts {
+        buckets[size] += 1;
+    }
+    buckets
+        .iter()
+        .enumerate()
+        .filter(|&(_, &nodes)| nodes > 0)
+        .map(|(size, &nodes)| (size, nodes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        events: Vec<RoundEvent>,
+    }
+
+    impl RoundObserver for Recorder {
+        fn on_event(&mut self, event: &RoundEvent) {
+            self.events.push(event.clone());
+        }
+    }
+
+    fn shared_recorder() -> Rc<RefCell<Recorder>> {
+        Rc::new(RefCell::new(Recorder::default()))
+    }
+
+    #[test]
+    fn observer_sees_per_round_deltas() {
+        let recorder = shared_recorder();
+        let mut core = RoundCore::new(32, Enforcement::Strict);
+        core.ledger_mut().begin_phase("demo");
+        core.attach_observer(recorder.clone());
+        let mut round: Round<'_, CliqueTransport, u8> =
+            Round::begin(&mut core, CliqueTransport { n: 3 });
+        round
+            .send(NodeId::new(0), NodeId::new(1), 8, 1)
+            .expect("link admissible and within budget");
+        round
+            .send(NodeId::new(2), NodeId::new(1), 16, 2)
+            .expect("link admissible and within budget");
+        round.deliver();
+        core.idle_round();
+        let events = recorder.borrow().events.clone();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "deliver");
+        assert_eq!(events[0].phase.as_deref(), Some("demo"));
+        assert_eq!(events[0].round, 1);
+        assert_eq!(events[0].messages, 2);
+        assert_eq!(events[0].bits, 24);
+        assert_eq!(events[0].max_pair_load, 16);
+        assert_eq!(events[0].inbox_histogram, vec![(0, 2), (2, 1)]);
+        assert_eq!(events[1].kind, "idle");
+        assert_eq!(events[1].round, 2);
+        assert_eq!(events[1].messages, 0);
+    }
+
+    #[test]
+    fn observer_absence_skips_diagnostics_but_not_accounting() {
+        let mut core = RoundCore::new(32, Enforcement::Strict);
+        let mut round: Round<'_, CliqueTransport, ()> =
+            Round::begin(&mut core, CliqueTransport { n: 2 });
+        round
+            .send(NodeId::new(0), NodeId::new(1), 8, ())
+            .expect("link admissible and within budget");
+        round.deliver();
+        assert_eq!(core.ledger().rounds, 1);
+        assert_eq!(core.ledger().messages, 1);
+        assert_eq!(core.ledger().bits, 8);
+    }
+
+    #[test]
+    fn record_schedule_emits_bulk_event() {
+        let recorder = shared_recorder();
+        let mut core = RoundCore::new(32, Enforcement::Strict);
+        core.attach_observer(recorder.clone());
+        core.record_schedule(3, 10, 320);
+        assert_eq!(core.ledger().rounds, 3);
+        assert_eq!(core.ledger().messages, 10);
+        assert_eq!(core.ledger().bits, 320);
+        let events = recorder.borrow().events.clone();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "bulk");
+        assert_eq!(events[0].round, 3);
+        assert_eq!(events[0].messages, 10);
+        assert_eq!(events[0].bits, 320);
+    }
+
+    #[test]
+    fn transports_enforce_admissibility() {
+        let clique = CliqueTransport { n: 3 };
+        assert!(clique.check_link(NodeId::new(0), NodeId::new(2)).is_ok());
+        assert!(clique.check_link(NodeId::new(1), NodeId::new(1)).is_err());
+        assert!(clique.check_link(NodeId::new(0), NodeId::new(7)).is_err());
+
+        let g = cc_mis_graph::generators::path(3);
+        let congest = CongestTransport { graph: &g };
+        assert!(congest.check_link(NodeId::new(0), NodeId::new(1)).is_ok());
+        assert!(congest.check_link(NodeId::new(0), NodeId::new(2)).is_err());
+    }
+
+    #[test]
+    fn inbox_histogram_groups_sizes() {
+        assert_eq!(
+            inbox_histogram(&[0, 2, 0, 1, 2]),
+            vec![(0, 2), (1, 1), (2, 2)]
+        );
+        assert_eq!(inbox_histogram(&[]), Vec::<(usize, usize)>::new());
+    }
+}

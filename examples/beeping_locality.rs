@@ -23,7 +23,10 @@ fn main() {
             .map(|r| r.expect("all decided") as f64 + 1.0)
             .collect();
         let s = Summary::of(&times);
-        println!("  {:>3}  {:>10.2}  {:>3.0}  {:>3.0}", d, s.mean, s.p90, s.max);
+        println!(
+            "  {:>3}  {:>10.2}  {:>3.0}  {:>3.0}",
+            d, s.mean, s.p90, s.max
+        );
     }
 
     // Golden rounds on one run.
@@ -44,7 +47,10 @@ fn main() {
     let wrong: u64 = run.trace.wrong_moves.iter().sum();
     let life: u64 = run.trace.undecided_iterations.iter().sum();
     println!("\ngolden-round fraction across nodes (Lemma 2.3 promises ≥ 0.05):");
-    println!("  mean {:.3}, min {:.3}, median {:.3}", s.mean, s.min, s.median);
+    println!(
+        "  mean {:.3}, min {:.3}, median {:.3}",
+        s.mean, s.min, s.median
+    );
     println!(
         "wrong-move rate (Lemmas 2.4/2.5 bound 0.02): {:.4}",
         wrong as f64 / life.max(1) as f64

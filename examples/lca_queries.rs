@@ -14,7 +14,11 @@ fn main() {
     // membership questions.
     let n = 50_000;
     let g = generators::random_regular(n, 4, 123);
-    println!("graph: {} nodes, {} edges (4-regular)", g.node_count(), g.edge_count());
+    println!(
+        "graph: {} nodes, {} edges (4-regular)",
+        g.node_count(),
+        g.edge_count()
+    );
 
     let oracle = MisOracle::new(&g, 7);
     println!("\nquerying 10 nodes spread across the graph:");

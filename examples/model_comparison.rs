@@ -30,7 +30,15 @@ fn main() {
 
     let mut table = Table::new(
         "MIS algorithms on one graph (all outputs verified maximal independent)",
-        &["algorithm", "model", "MIS size", "iterations", "rounds", "messages", "bits"],
+        &[
+            "algorithm",
+            "model",
+            "MIS size",
+            "iterations",
+            "rounds",
+            "messages",
+            "bits",
+        ],
     );
     let mut add = |name: &str, model: Model, out: &MisOutcome| {
         assert!(

@@ -42,7 +42,13 @@ fn main() {
     for (i, ph) in detailed.phases.iter().enumerate() {
         println!(
             "  {:>5}  {:>5}  {:>5}  {:>11}  {:>3}  {:>8}  {:>13}",
-            i, ph.len, ph.alive_at_start, ph.super_heavy, ph.sampled, ph.max_s_degree, ph.gather_rounds
+            i,
+            ph.len,
+            ph.alive_at_start,
+            ph.super_heavy,
+            ph.sampled,
+            ph.max_s_degree,
+            ph.gather_rounds
         );
     }
     println!(

@@ -9,8 +9,8 @@
 //! ```
 
 use clique_mis::algorithms::sparsified::{run_sparsified, SparsifiedParams};
-use clique_mis::graph::ops::{component_sizes, induced_subgraph};
 use clique_mis::graph::generators;
+use clique_mis::graph::ops::{component_sizes, induced_subgraph};
 
 fn main() {
     let n = 2000;

@@ -5,6 +5,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
 cargo build --workspace --all-targets
 cargo test --workspace
 cargo clippy --workspace --all-targets -- -D warnings

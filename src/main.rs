@@ -15,20 +15,27 @@
 
 use std::process::ExitCode;
 
-use clique_mis::algorithms::beeping_mis::{run_beeping_to_completion, BeepingParams};
-use clique_mis::algorithms::clique_mis::{run_clique_mis_outcome, CliqueMisParams};
-use clique_mis::algorithms::ghaffari16::{run_ghaffari16, run_ghaffari16_clique, Ghaffari16Params};
+use clique_mis::algorithms::beeping_mis::{run_beeping_to_completion_observed, BeepingParams};
+use clique_mis::algorithms::clique_mis::{
+    run_clique_mis_outcome, run_clique_mis_outcome_observed, CliqueMisParams,
+};
+use clique_mis::algorithms::ghaffari16::{
+    run_ghaffari16_clique_observed, run_ghaffari16_observed, Ghaffari16Params,
+};
 use clique_mis::algorithms::greedy::greedy_mis;
 use clique_mis::algorithms::lca::{MisAnswer, MisOracle};
-use clique_mis::algorithms::lowdeg::{run_lowdeg, run_theorem_1_1, LowDegParams};
-use clique_mis::algorithms::luby::{run_luby, LubyParams};
+use clique_mis::algorithms::lowdeg::{run_lowdeg_observed, run_theorem_1_1_observed, LowDegParams};
+use clique_mis::algorithms::luby::{run_luby_observed, LubyParams};
 use clique_mis::algorithms::reductions::{
     coloring_via_mis, edge_coloring_via_mis, maximal_matching_via_mis,
 };
 use clique_mis::algorithms::ruling_set::k_ruling_set_via_mis;
-use clique_mis::algorithms::sparsified::{run_sparsified_with_cleanup, SparsifiedParams};
+use clique_mis::algorithms::sparsified::{run_sparsified_with_cleanup_observed, SparsifiedParams};
 use clique_mis::algorithms::MisOutcome;
+use clique_mis::analysis::json::Json;
+use clique_mis::analysis::trace::JsonlTraceSink;
 use clique_mis::graph::{checks, generators, io as graph_io, Graph, NodeId};
+use clique_mis::sim::SharedObserver;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,7 +51,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  clique-mis run    --algorithm <greedy|luby|ghaffari16|g16-clique|beeping|sparsified|thm11|lowdeg|auto> <graph> [--seed S] [--json]
+  clique-mis run    --algorithm <greedy|luby|ghaffari16|g16-clique|beeping|sparsified|thm11|lowdeg|auto> <graph> [--seed S] [--json] [--trace PATH]
   clique-mis reduce --kind <matching|vertex-coloring|edge-coloring> <graph> [--seed S]
   clique-mis ruling --k <K> <graph> [--seed S]
   clique-mis query  --node <V> <graph> [--seed S]
@@ -129,9 +136,7 @@ fn load_graph(opts: &Options) -> Result<Graph, String> {
         return Ok(g);
     }
     let family = opts.get("family").ok_or("need --family or --input")?;
-    let n: usize = opts
-        .get_parsed("n")?
-        .ok_or("need --n with --family")?;
+    let n: usize = opts.get_parsed("n")?.ok_or("need --n with --family")?;
     let seed: u64 = opts.get_parsed("seed")?.unwrap_or(1);
     let avg: f64 = opts.get_parsed("avg-deg")?.unwrap_or(8.0);
     let g = match family {
@@ -150,14 +155,19 @@ fn load_graph(opts: &Options) -> Result<Graph, String> {
         }
         "cycle" => generators::cycle(n),
         "star" => generators::star(n),
-        "cliques" => generators::disjoint_cliques(n / (avg.round() as usize + 1).max(2), (avg.round() as usize + 1).max(2)),
+        "cliques" => generators::disjoint_cliques(
+            n / (avg.round() as usize + 1).max(2),
+            (avg.round() as usize + 1).max(2),
+        ),
         "geometric" => {
             // radius for expected degree ≈ avg: π r² n = avg
             let r = (avg / (std::f64::consts::PI * n as f64)).sqrt();
             generators::random_geometric(n, r, seed)
         }
         "smallworld" => {
-            let k = ((avg.round() as usize) / 2 * 2).max(2).min(n.saturating_sub(1) / 2 * 2);
+            let k = ((avg.round() as usize) / 2 * 2)
+                .max(2)
+                .min(n.saturating_sub(1) / 2 * 2);
             generators::watts_strogatz(n, k, 0.1, seed)
         }
         other => return Err(format!("unknown family '{other}'")),
@@ -165,10 +175,32 @@ fn load_graph(opts: &Options) -> Result<Graph, String> {
     Ok(g)
 }
 
+/// Renders the ledger's per-phase breakdown as a JSON array.
+fn phases_json(outcome: &MisOutcome) -> String {
+    Json::Arr(
+        outcome
+            .ledger
+            .phases
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("label", Json::from(p.label.as_str())),
+                    ("rounds", Json::from(p.rounds)),
+                    ("messages", Json::from(p.messages)),
+                    ("bits", Json::from(p.bits)),
+                ])
+            })
+            .collect(),
+    )
+    .render()
+}
+
 fn cmd_run(opts: &Options) -> Result<(), String> {
     let g = load_graph(opts)?;
     let seed: u64 = opts.get_parsed("seed")?.unwrap_or(1);
     let algorithm = opts.get("algorithm").unwrap_or("auto");
+    let sink = opts.get("trace").map(|p| JsonlTraceSink::new(p).shared());
+    let obs = || -> Option<SharedObserver> { sink.as_ref().map(JsonlTraceSink::as_observer) };
     let (outcome, label): (MisOutcome, String) = match algorithm {
         "greedy" => (
             MisOutcome {
@@ -179,31 +211,31 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             "greedy (sequential)".into(),
         ),
         "luby" => (
-            run_luby(&g, &LubyParams::for_graph(&g), seed),
+            run_luby_observed(&g, &LubyParams::for_graph(&g), seed, obs()),
             "luby (CONGEST)".into(),
         ),
         "ghaffari16" => (
-            run_ghaffari16(&g, &Ghaffari16Params::for_graph(&g), seed),
+            run_ghaffari16_observed(&g, &Ghaffari16Params::for_graph(&g), seed, obs()),
             "ghaffari16 (CONGEST)".into(),
         ),
         "g16-clique" => (
-            run_ghaffari16_clique(&g, &Ghaffari16Params::for_graph(&g), seed),
+            run_ghaffari16_clique_observed(&g, &Ghaffari16Params::for_graph(&g), seed, obs()),
             "ghaffari16 (congested clique)".into(),
         ),
         "beeping" => (
-            run_beeping_to_completion(&g, &BeepingParams::for_graph(&g), seed),
+            run_beeping_to_completion_observed(&g, &BeepingParams::for_graph(&g), seed, obs()),
             "beeping MIS (§2.2)".into(),
         ),
         "sparsified" => (
-            run_sparsified_with_cleanup(&g, &SparsifiedParams::for_graph(&g), seed),
+            run_sparsified_with_cleanup_observed(&g, &SparsifiedParams::for_graph(&g), seed, obs()),
             "sparsified beeping MIS (§2.3)".into(),
         ),
         "thm11" => (
-            run_clique_mis_outcome(&g, &CliqueMisParams::default(), seed),
+            run_clique_mis_outcome_observed(&g, &CliqueMisParams::default(), seed, obs()),
             "Theorem 1.1 (§2.4, congested clique)".into(),
         ),
         "lowdeg" => {
-            let r = run_lowdeg(&g, &LowDegParams::default(), seed);
+            let r = run_lowdeg_observed(&g, &LowDegParams::default(), seed, obs());
             (
                 MisOutcome {
                     mis: r.mis,
@@ -214,7 +246,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             )
         }
         "auto" => {
-            let (o, s) = run_theorem_1_1(&g, seed);
+            let (o, s) = run_theorem_1_1_observed(&g, seed, obs());
             (o, format!("Theorem 1.1 dispatcher [{s:?}]"))
         }
         other => return Err(format!("unknown algorithm '{other}'")),
@@ -222,10 +254,18 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     if !checks::is_maximal_independent_set(&g, &outcome.mis) {
         return Err("internal error: output failed MIS verification".into());
     }
+    if let Some(sink) = &sink {
+        let events =
+            JsonlTraceSink::finish_shared(sink).map_err(|e| format!("writing trace: {e}"))?;
+        eprintln!(
+            "trace: {events} events written to {}",
+            opts.get("trace").unwrap_or_default()
+        );
+    }
     if opts.has_flag("json") {
         let members: Vec<u32> = outcome.mis.iter().map(|v| v.raw()).collect();
         println!(
-            "{{\"algorithm\":{label:?},\"n\":{},\"m\":{},\"max_degree\":{},\"mis_size\":{},\"rounds\":{},\"messages\":{},\"bits\":{},\"iterations\":{},\"verified\":true,\"mis\":{members:?}}}",
+            "{{\"algorithm\":{label:?},\"n\":{},\"m\":{},\"max_degree\":{},\"mis_size\":{},\"rounds\":{},\"messages\":{},\"bits\":{},\"iterations\":{},\"phases\":{},\"verified\":true,\"mis\":{members:?}}}",
             g.node_count(),
             g.edge_count(),
             g.max_degree(),
@@ -234,6 +274,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             outcome.ledger.messages,
             outcome.ledger.bits,
             outcome.iterations,
+            phases_json(&outcome),
         );
     } else {
         println!(
@@ -266,7 +307,11 @@ fn cmd_reduce(opts: &Options) -> Result<(), String> {
             if !checks::is_maximal_matching(&g, &m) {
                 return Err("internal error: matching failed verification".into());
             }
-            println!("maximal matching: {} edges (of {})", m.len(), g.edge_count());
+            println!(
+                "maximal matching: {} edges (of {})",
+                m.len(),
+                g.edge_count()
+            );
         }
         "vertex-coloring" => {
             let palette = g.max_degree() + 1;
@@ -309,9 +354,7 @@ fn cmd_ruling(opts: &Options) -> Result<(), String> {
 fn cmd_query(opts: &Options) -> Result<(), String> {
     let g = load_graph(opts)?;
     let seed: u64 = opts.get_parsed("seed")?.unwrap_or(1);
-    let node: u32 = opts
-        .get_parsed("node")?
-        .ok_or("need --node")?;
+    let node: u32 = opts.get_parsed("node")?.ok_or("need --node")?;
     if node as usize >= g.node_count() {
         return Err(format!("node {node} out of range (n = {})", g.node_count()));
     }

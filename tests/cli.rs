@@ -10,12 +10,25 @@ fn cli() -> Command {
 fn run_reports_a_verified_mis() {
     let out = cli()
         .args([
-            "run", "--algorithm", "thm11", "--family", "gnp", "--n", "200", "--avg-deg", "10",
-            "--seed", "3",
+            "run",
+            "--algorithm",
+            "thm11",
+            "--family",
+            "gnp",
+            "--n",
+            "200",
+            "--avg-deg",
+            "10",
+            "--seed",
+            "3",
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("verified maximal independent"), "{text}");
     assert!(text.contains("rounds"));
@@ -25,7 +38,14 @@ fn run_reports_a_verified_mis() {
 fn run_json_is_parseable_shape() {
     let out = cli()
         .args([
-            "run", "--algorithm", "luby", "--family", "cycle", "--n", "30", "--json",
+            "run",
+            "--algorithm",
+            "luby",
+            "--family",
+            "cycle",
+            "--n",
+            "30",
+            "--json",
         ])
         .output()
         .expect("binary runs");
@@ -50,10 +70,20 @@ fn gen_then_run_roundtrips_through_a_file() {
     std::fs::write(&path, &out.stdout).unwrap();
 
     let out = cli()
-        .args(["run", "--algorithm", "greedy", "--input", path.to_str().unwrap()])
+        .args([
+            "run",
+            "--algorithm",
+            "greedy",
+            "--input",
+            path.to_str().unwrap(),
+        ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("64 nodes"));
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -74,7 +104,16 @@ fn query_answers_consistently() {
 
 #[test]
 fn bad_arguments_fail_with_usage() {
-    let out = cli().args(["run", "--algorithm", "nonsense", "--family", "cycle", "--n", "10"])
+    let out = cli()
+        .args([
+            "run",
+            "--algorithm",
+            "nonsense",
+            "--family",
+            "cycle",
+            "--n",
+            "10",
+        ])
         .output()
         .expect("binary runs");
     assert!(!out.status.success());
@@ -89,14 +128,26 @@ fn bad_arguments_fail_with_usage() {
 #[test]
 fn reduce_and_ruling_verify() {
     let out = cli()
-        .args(["reduce", "--kind", "matching", "--family", "cycle", "--n", "40"])
+        .args([
+            "reduce", "--kind", "matching", "--family", "cycle", "--n", "40",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("maximal matching"));
 
     let out = cli()
-        .args(["ruling", "--k", "2", "--family", "gnp", "--n", "80", "--avg-deg", "6"])
+        .args([
+            "ruling",
+            "--k",
+            "2",
+            "--family",
+            "gnp",
+            "--n",
+            "80",
+            "--avg-deg",
+            "6",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success());

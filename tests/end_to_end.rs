@@ -4,9 +4,7 @@
 
 use clique_mis::algorithms::beeping_mis::{run_beeping_to_completion, BeepingParams};
 use clique_mis::algorithms::clique_mis::{run_clique_mis, CliqueMisParams};
-use clique_mis::algorithms::ghaffari16::{
-    run_ghaffari16, run_ghaffari16_clique, Ghaffari16Params,
-};
+use clique_mis::algorithms::ghaffari16::{run_ghaffari16, run_ghaffari16_clique, Ghaffari16Params};
 use clique_mis::algorithms::greedy::greedy_mis;
 use clique_mis::algorithms::lowdeg::{run_lowdeg, run_theorem_1_1, LowDegParams, Strategy};
 use clique_mis::algorithms::luby::{run_luby, LubyParams};
@@ -33,7 +31,10 @@ fn families() -> Vec<(&'static str, Graph)> {
         ("regular", generators::random_regular(48, 5, 3)),
         ("ba", generators::barabasi_albert(70, 3, 4)),
         ("power-law", generators::chung_lu_power_law(80, 2.4, 6.0, 5)),
-        ("planted", generators::planted_independent_set(60, 0.15, 15, 6)),
+        (
+            "planted",
+            generators::planted_independent_set(60, 0.15, 15, 6),
+        ),
     ]
 }
 
@@ -127,7 +128,9 @@ fn mis_size_is_within_sane_bounds() {
     let g = generators::erdos_renyi_gnp(300, 12.0 / 300.0, 8);
     let baseline = greedy_mis(&g).len() as f64;
     for seed in 0..3 {
-        let size = run_clique_mis(&g, &CliqueMisParams::default(), seed).mis.len() as f64;
+        let size = run_clique_mis(&g, &CliqueMisParams::default(), seed)
+            .mis
+            .len() as f64;
         assert!(
             size > baseline * 0.6 && size < baseline * 1.6,
             "clique MIS size {size} vs greedy {baseline}"

@@ -1,0 +1,169 @@
+//! Golden-ledger regression tests: pins `(rounds, messages, bits)` for
+//! every algorithm on a fixed generator matrix and seed.
+//!
+//! The unified round runtime (`cc_mis_sim::runtime`) promises that ledger
+//! accounting is a pure function of the algorithm and the seed — no
+//! iteration-order, parallelism, or observer effects. These tests freeze
+//! that promise: any change to engine charging, message scheduling, or the
+//! round core that shifts a single counter fails here with the exact
+//! before/after numbers.
+//!
+//! If a change is *supposed* to move these numbers (e.g. an accounting-model
+//! fix), re-pin the table and record the shift in the PR description.
+
+use clique_mis::algorithms::beeping_mis::{run_beeping_to_completion, BeepingParams};
+use clique_mis::algorithms::clique_mis::{run_clique_mis_outcome, CliqueMisParams};
+use clique_mis::algorithms::ghaffari16::{run_ghaffari16, run_ghaffari16_clique, Ghaffari16Params};
+use clique_mis::algorithms::lowdeg::{run_lowdeg, run_theorem_1_1, LowDegParams};
+use clique_mis::algorithms::luby::{run_luby, LubyParams};
+use clique_mis::algorithms::sparsified::{run_sparsified_with_cleanup, SparsifiedParams};
+use clique_mis::graph::{generators, Graph};
+
+const SEED: u64 = 7;
+
+/// `(algorithm/graph, rounds, messages, bits)` — regenerate by running the
+/// same calls and printing the three ledger fields.
+const GOLDEN: &[(&str, u64, u64, u64)] = &[
+    ("luby/gnp80", 6, 764, 21348),
+    ("ghaffari16/gnp80", 26, 2097, 16363),
+    ("g16-clique/gnp80", 28, 2038, 16304),
+    ("beeping/gnp80", 16, 835, 835),
+    ("sparsified/gnp80", 24, 2965, 15745),
+    ("thm11/gnp80", 98, 7809, 109008),
+    ("auto/gnp80", 98, 7809, 109008),
+    ("luby/grid8x8", 6, 296, 7798),
+    ("ghaffari16/grid8x8", 16, 721, 5467),
+    ("g16-clique/grid8x8", 18, 678, 5424),
+    ("beeping/grid8x8", 16, 366, 366),
+    ("sparsified/grid8x8", 24, 1040, 5084),
+    ("thm11/grid8x8", 95, 5381, 116603),
+    ("auto/grid8x8", 3180, 6973144, 223056320),
+    ("luby/cycle48", 4, 135, 3297),
+    ("ghaffari16/cycle48", 16, 212, 1486),
+    ("g16-clique/cycle48", 18, 182, 1456),
+    ("beeping/cycle48", 24, 146, 146),
+    ("sparsified/cycle48", 36, 350, 1574),
+    ("thm11/cycle48", 77, 1407, 27741),
+    ("auto/cycle48", 375, 202087, 6462749),
+    ("lowdeg/cycle48", 375, 202087, 6462749),
+];
+
+fn graph_for(name: &str) -> Graph {
+    match name {
+        "gnp80" => generators::erdos_renyi_gnp(80, 0.1, 9),
+        "grid8x8" => generators::grid(8, 8),
+        "cycle48" => generators::cycle(48),
+        other => panic!("unknown golden graph '{other}'"),
+    }
+}
+
+fn ledger_for(algorithm: &str, g: &Graph) -> (u64, u64, u64) {
+    let l = match algorithm {
+        "luby" => run_luby(g, &LubyParams::for_graph(g), SEED).ledger,
+        "ghaffari16" => run_ghaffari16(g, &Ghaffari16Params::for_graph(g), SEED).ledger,
+        "g16-clique" => run_ghaffari16_clique(g, &Ghaffari16Params::for_graph(g), SEED).ledger,
+        "beeping" => run_beeping_to_completion(g, &BeepingParams::for_graph(g), SEED).ledger,
+        "sparsified" => {
+            run_sparsified_with_cleanup(g, &SparsifiedParams::for_graph(g), SEED).ledger
+        }
+        "thm11" => run_clique_mis_outcome(g, &CliqueMisParams::default(), SEED).ledger,
+        "auto" => run_theorem_1_1(g, SEED).0.ledger,
+        "lowdeg" => run_lowdeg(g, &LowDegParams::default(), SEED).ledger,
+        other => panic!("unknown golden algorithm '{other}'"),
+    };
+    (l.rounds, l.messages, l.bits)
+}
+
+fn check(filter: impl Fn(&str) -> bool) {
+    let mut mismatches = Vec::new();
+    for &(case, rounds, messages, bits) in GOLDEN {
+        let (algorithm, gname) = case.split_once('/').expect("case is algo/graph");
+        if !filter(gname) {
+            continue;
+        }
+        let g = graph_for(gname);
+        let actual = ledger_for(algorithm, &g);
+        if actual != (rounds, messages, bits) {
+            mismatches.push(format!(
+                "{case}: expected (rounds, messages, bits) = \
+                 ({rounds}, {messages}, {bits}), got {actual:?}"
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "ledger drift:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_ledgers_gnp80() {
+    check(|g| g == "gnp80");
+}
+
+#[test]
+fn golden_ledgers_grid8x8() {
+    check(|g| g == "grid8x8");
+}
+
+#[test]
+fn golden_ledgers_cycle48() {
+    check(|g| g == "cycle48");
+}
+
+/// Beeping satellite invariant: one 1-bit message per incident link means
+/// the beeping ledger always has `messages == bits`.
+#[test]
+fn beeping_ledger_counts_one_message_per_link() {
+    for gname in ["gnp80", "grid8x8", "cycle48"] {
+        let g = graph_for(gname);
+        let (_, messages, bits) = ledger_for("beeping", &g);
+        assert_eq!(messages, bits, "beeping/{gname}");
+    }
+}
+
+/// Attaching a trace observer must not move a single counter: the observed
+/// runs reproduce the same golden triples the unobserved runs pin above.
+#[test]
+fn tracing_does_not_change_ledgers() {
+    use clique_mis::algorithms::beeping_mis::run_beeping_to_completion_observed;
+    use clique_mis::algorithms::clique_mis::run_clique_mis_outcome_observed;
+    use clique_mis::algorithms::luby::run_luby_observed;
+    use clique_mis::sim::{RoundEvent, RoundObserver, SharedObserver};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct CountingObserver(u64);
+    impl RoundObserver for CountingObserver {
+        fn on_event(&mut self, _: &RoundEvent) {
+            self.0 += 1;
+        }
+    }
+    fn observer() -> (Rc<RefCell<CountingObserver>>, SharedObserver) {
+        let o = Rc::new(RefCell::new(CountingObserver::default()));
+        let shared = Rc::clone(&o) as SharedObserver;
+        (o, shared)
+    }
+
+    let g = graph_for("gnp80");
+
+    let (o, shared) = observer();
+    let l = run_luby_observed(&g, &LubyParams::for_graph(&g), SEED, Some(shared)).ledger;
+    assert_eq!((l.rounds, l.messages, l.bits), (6, 764, 21348));
+    assert_eq!(o.borrow().0, l.rounds, "one event per Luby round");
+
+    let (o, shared) = observer();
+    let l =
+        run_beeping_to_completion_observed(&g, &BeepingParams::for_graph(&g), SEED, Some(shared))
+            .ledger;
+    assert_eq!((l.rounds, l.messages, l.bits), (16, 835, 835));
+    assert!(o.borrow().0 > 0);
+
+    let (o, shared) = observer();
+    let l =
+        run_clique_mis_outcome_observed(&g, &CliqueMisParams::default(), SEED, Some(shared)).ledger;
+    assert_eq!((l.rounds, l.messages, l.bits), (98, 7809, 109008));
+    assert!(o.borrow().0 > 0);
+}

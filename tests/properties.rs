@@ -40,7 +40,10 @@ fn luby_always_returns_mis() {
     for case in 0..CASES {
         let (g, seed) = graph_case(case);
         let out = run_luby(&g, &LubyParams::for_graph(&g), seed);
-        assert!(checks::is_maximal_independent_set(&g, &out.mis), "case {case}");
+        assert!(
+            checks::is_maximal_independent_set(&g, &out.mis),
+            "case {case}"
+        );
     }
 }
 
@@ -49,7 +52,10 @@ fn beeping_always_returns_mis() {
     for case in 0..CASES {
         let (g, seed) = graph_case(case);
         let out = run_beeping_to_completion(&g, &BeepingParams::for_graph(&g), seed);
-        assert!(checks::is_maximal_independent_set(&g, &out.mis), "case {case}");
+        assert!(
+            checks::is_maximal_independent_set(&g, &out.mis),
+            "case {case}"
+        );
     }
 }
 
@@ -58,7 +64,10 @@ fn clique_mis_always_returns_mis() {
     for case in 0..CASES {
         let (g, seed) = graph_case(case);
         let out = run_clique_mis(&g, &CliqueMisParams::default(), seed);
-        assert!(checks::is_maximal_independent_set(&g, &out.mis), "case {case}");
+        assert!(
+            checks::is_maximal_independent_set(&g, &out.mis),
+            "case {case}"
+        );
     }
 }
 
@@ -73,7 +82,9 @@ fn sparsified_partial_output_is_independent_and_dominating_where_decided() {
             if run.removed_at[i].is_some() && run.joined_at[i].is_none() {
                 let v = clique_mis::graph::NodeId::new(i as u32);
                 assert!(
-                    g.neighbors(v).iter().any(|u| run.joined_at[u.index()].is_some()),
+                    g.neighbors(v)
+                        .iter()
+                        .any(|u| run.joined_at[u.index()].is_some()),
                     "case {case}: node {v}"
                 );
             }
@@ -81,7 +92,9 @@ fn sparsified_partial_output_is_independent_and_dominating_where_decided() {
         // Residual nodes have no MIS neighbor (else they would be removed).
         for &v in &run.residual {
             assert!(
-                g.neighbors(v).iter().all(|u| run.joined_at[u.index()].is_none()),
+                g.neighbors(v)
+                    .iter()
+                    .all(|u| run.joined_at[u.index()].is_none()),
                 "case {case}: node {v}"
             );
         }
@@ -102,7 +115,10 @@ fn simulation_equivalence_holds_generically() {
         let direct = run_sparsified(&g, &params, seed);
         let sim = run_clique_mis(
             &g,
-            &CliqueMisParams { sparsified: Some(params), skip_cleanup: true },
+            &CliqueMisParams {
+                sparsified: Some(params),
+                skip_cleanup: true,
+            },
             seed,
         );
         assert_eq!(direct.joined_at, sim.joined_at, "case {case}");
@@ -125,7 +141,10 @@ fn coloring_reduction_is_always_proper() {
         let (g, _) = graph_case(case);
         let palette = g.max_degree() + 1;
         let colors = coloring_via_mis(&g, palette, greedy_mis).unwrap();
-        assert!(checks::is_proper_coloring(&g, &colors, palette), "case {case}");
+        assert!(
+            checks::is_proper_coloring(&g, &colors, palette),
+            "case {case}"
+        );
     }
 }
 
