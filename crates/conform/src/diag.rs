@@ -30,6 +30,18 @@ impl Finding {
     pub fn render(&self) -> String {
         format!("{}:{} {} {}", self.path, self.line, self.rule, self.message)
     }
+
+    /// Severity class: pragma violations (`P1`) are errors — a broken
+    /// escape hatch may be silencing anything — and every rule finding is
+    /// a warning (the CI gate still fails on warnings; the split feeds the
+    /// exit code and SARIF levels).
+    pub fn severity(&self) -> &'static str {
+        if self.rule == "P1" {
+            "error"
+        } else {
+            "warning"
+        }
+    }
 }
 
 /// Sorts findings into the stable output order (path, line, rule).
@@ -39,7 +51,9 @@ pub fn sort(findings: &mut [Finding]) {
 }
 
 /// Renders findings as a JSON document (via the workspace's dependency-free
-/// writer): `{"findings": [...], "count": N}`.
+/// writer): `{"findings": [...], "count": N}`. The schema — field names,
+/// nesting, and ordering — is frozen by a snapshot test; extend it only by
+/// appending fields.
 pub fn to_json(findings: &[Finding]) -> String {
     let items: Vec<Json> = findings
         .iter()
@@ -48,6 +62,7 @@ pub fn to_json(findings: &[Finding]) -> String {
                 ("path", Json::Str(f.path.clone())),
                 ("line", Json::UInt(f.line as u64)),
                 ("rule", Json::Str(f.rule.to_string())),
+                ("severity", Json::Str(f.severity().to_string())),
                 ("message", Json::Str(f.message.clone())),
             ])
         })
@@ -55,6 +70,92 @@ pub fn to_json(findings: &[Finding]) -> String {
     Json::obj(vec![
         ("findings", Json::Arr(items)),
         ("count", Json::UInt(findings.len() as u64)),
+    ])
+    .render_pretty()
+}
+
+/// Renders findings as a SARIF 2.1.0 log, the interchange format CI
+/// annotation tooling consumes. One run, one driver (`cc-mis-conform`),
+/// rule metadata from [`crate::rules::RULES`], one result per finding.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let rules: Vec<Json> = crate::rules::RULES
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("id", Json::Str(r.id.to_string())),
+                (
+                    "shortDescription",
+                    Json::obj(vec![("text", Json::Str(r.summary.to_string()))]),
+                ),
+                (
+                    "fullDescription",
+                    Json::obj(vec![("text", Json::Str(r.contract.to_string()))]),
+                ),
+                (
+                    "help",
+                    Json::obj(vec![(
+                        "text",
+                        Json::Str(format!("{} Fix: {}", r.rationale, r.fix)),
+                    )]),
+                ),
+            ])
+        })
+        .collect();
+    let results: Vec<Json> = findings
+        .iter()
+        .map(|f| {
+            Json::obj(vec![
+                ("ruleId", Json::Str(f.rule.to_string())),
+                ("level", Json::Str(f.severity().to_string())),
+                (
+                    "message",
+                    Json::obj(vec![("text", Json::Str(f.message.clone()))]),
+                ),
+                (
+                    "locations",
+                    Json::Arr(vec![Json::obj(vec![(
+                        "physicalLocation",
+                        Json::obj(vec![
+                            (
+                                "artifactLocation",
+                                Json::obj(vec![("uri", Json::Str(f.path.clone()))]),
+                            ),
+                            (
+                                "region",
+                                Json::obj(vec![("startLine", Json::UInt(f.line as u64))]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        (
+            "$schema",
+            Json::Str(
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+                    .to_string(),
+            ),
+        ),
+        ("version", Json::Str("2.1.0".to_string())),
+        (
+            "runs",
+            Json::Arr(vec![Json::obj(vec![
+                (
+                    "tool",
+                    Json::obj(vec![(
+                        "driver",
+                        Json::obj(vec![
+                            ("name", Json::Str("cc-mis-conform".to_string())),
+                            ("informationUri", Json::Str("DESIGN.md".to_string())),
+                            ("rules", Json::Arr(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Json::Arr(results)),
+            ])]),
+        ),
     ])
     .render_pretty()
 }

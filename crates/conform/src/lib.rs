@@ -10,23 +10,29 @@
 //! so this crate enforces them the way production stacks do: a linter in
 //! the tier-1 gate, not a review checklist.
 //!
-//! The linter is deliberately **zero-dependency and lexical** (no dylint,
+//! The linter is deliberately **zero-dependency and offline** (no dylint,
 //! no rustc internals, no registry crates): a line/token scanner
-//! ([`scanner`]), a rule set ([`rules`], R1–R8), and a justified-pragma
+//! ([`scanner`]), a token-tree layer ([`syntax`]) and approximate call
+//! graph ([`callgraph`]) on top of it, a rule set ([`rules`], lexical
+//! R1–R9 plus structural/interprocedural R10–R13), and a justified-pragma
 //! escape hatch ([`pragma`]). Diagnostics are stable
-//! `file:line rule-id message` lines ([`diag`]), with `--json` output via
-//! `cc_mis_analysis::json`.
+//! `file:line rule-id message` lines ([`diag`]), with `--json` and
+//! `--sarif` output via `cc_mis_analysis::json`, and `--explain <rule>`
+//! prints each rule's contract, rationale, and fix recipe.
 //!
 //! Run it with `cargo run -p cc-mis-conform -- --workspace` (or
-//! `scripts/conform.sh`); the process exits nonzero on any finding.
+//! `scripts/conform.sh`); the process exits nonzero on any finding
+//! (exit 3 if any finding is a P1 pragma violation).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod diag;
 pub mod pragma;
 pub mod rules;
 pub mod scanner;
+pub mod syntax;
 
 use std::fs;
 use std::io;
@@ -54,14 +60,28 @@ pub fn check(inputs: &[Input]) -> Vec<Finding> {
         .filter(|i| i.path.ends_with(".rs"))
         .map(|i| scanner::scan_str(&i.path, &i.text))
         .collect();
+    // Pragmas for every file up front: the structural rules need them
+    // before the per-file filter (a justified allow(R10) on a charge site
+    // must stop the interprocedural propagation, not just hide one line).
+    let pragmas: Vec<Vec<pragma::Pragma>> = sources
+        .iter()
+        .map(|file| pragma::collect(file, &mut findings))
+        .collect();
     let counters = rules::declared_counters(&sources);
+    let mut rule_findings = Vec::new();
     for file in &sources {
-        let mut file_findings = Vec::new();
-        rules::check_file(file, &counters, &mut file_findings);
-        let pragmas = pragma::collect(file, &mut findings);
-        file_findings.retain(|f| !pragma::suppressed(&pragmas, f.rule, f.line));
-        findings.append(&mut file_findings);
+        rules::check_file(file, &counters, &mut rule_findings);
     }
+    let syntaxes: Vec<syntax::FileSyntax> = sources.iter().map(syntax::parse_file).collect();
+    let graph = callgraph::build(&syntaxes);
+    rules::check_structural(&sources, &syntaxes, &graph, &pragmas, &mut rule_findings);
+    rule_findings.retain(|f| {
+        let Some(fi) = sources.iter().position(|s| s.effective == f.path) else {
+            return true;
+        };
+        !pragma::suppressed(&pragmas[fi], f.rule, f.line)
+    });
+    findings.append(&mut rule_findings);
     for input in inputs.iter().filter(|i| i.path.ends_with(".toml")) {
         rules::check_manifest(&input.path, &input.text, &mut findings);
     }

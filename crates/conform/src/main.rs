@@ -3,12 +3,16 @@
 //! ```text
 //! cc-mis-conform --workspace            # lint the whole workspace (default)
 //! cc-mis-conform --workspace --json     # machine-readable findings
+//! cc-mis-conform --sarif out.sarif      # also write a SARIF 2.1.0 log
 //! cc-mis-conform --list-rules           # print the rule set
+//! cc-mis-conform --explain R10          # contract, rationale, fix recipe
 //! cc-mis-conform --root DIR [PATH...]   # lint specific files/dirs under DIR
 //! ```
 //!
-//! Exits 0 on a conform-clean tree, 1 on any finding, 2 on usage or I/O
-//! errors. Diagnostics are stable `file:line rule-id message` lines.
+//! Exits 0 on a conform-clean tree, 1 on rule findings, 3 if any finding
+//! is a `P1` pragma violation (the escape hatch itself is broken — highest
+//! severity), 2 on usage or I/O errors. Diagnostics are stable
+//! `file:line rule-id message` lines.
 
 #![forbid(unsafe_code)]
 
@@ -17,13 +21,15 @@ use std::process::ExitCode;
 
 use cc_mis_conform::{check, check_workspace, diag, find_workspace_root, rules, Input};
 
-const USAGE: &str =
-    "usage: cc-mis-conform [--workspace] [--json] [--list-rules] [--root DIR] [PATH...]";
+const USAGE: &str = "usage: cc-mis-conform [--workspace] [--json] [--sarif PATH] [--list-rules] \
+                     [--explain RULE] [--root DIR] [PATH...]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut list_rules = false;
+    let mut explain: Option<String> = None;
+    let mut sarif: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
@@ -32,6 +38,14 @@ fn main() -> ExitCode {
             "--workspace" => {}
             "--json" => json = true,
             "--list-rules" => list_rules = true,
+            "--explain" => match it.next() {
+                Some(rule) => explain = Some(rule.clone()),
+                None => return usage_error("--explain needs a rule id (e.g. R10)"),
+            },
+            "--sarif" => match it.next() {
+                Some(path) => sarif = Some(PathBuf::from(path)),
+                None => return usage_error("--sarif needs an output path"),
+            },
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage_error("--root needs a directory"),
@@ -51,6 +65,20 @@ fn main() -> ExitCode {
         for rule in rules::RULES {
             println!("{:3}  {}", rule.id, rule.summary);
         }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(id) = explain {
+        let Some(rule) = rules::RULES.iter().find(|r| r.id == id) else {
+            return usage_error(&format!(
+                "unknown rule `{id}` (try --list-rules for the rule set)"
+            ));
+        };
+        println!("{}  {}", rule.id, rule.summary);
+        println!();
+        println!("contract:  {}", rule.contract);
+        println!("rationale: {}", rule.rationale);
+        println!("fix:       {}", rule.fix);
         return ExitCode::SUCCESS;
     }
 
@@ -81,6 +109,12 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = sarif {
+        if let Err(err) = std::fs::write(&path, diag::to_sarif(&findings)) {
+            eprintln!("error: writing {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     if json {
         print!("{}", diag::to_json(&findings));
     } else {
@@ -93,7 +127,11 @@ fn main() -> ExitCode {
             eprintln!("conform: {} finding(s)", findings.len());
         }
     }
-    if findings.is_empty() {
+    // Severity-aware exit: P1 (a broken escape hatch) outranks ordinary
+    // findings so CI can distinguish "fix the code" from "fix the pragma".
+    if findings.iter().any(|f| f.severity() == "error") {
+        ExitCode::from(3)
+    } else if findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -6,16 +6,29 @@
 //! and string contents never trip them, and most rules skip test code
 //! (the contracts bind the simulation, not its assertions).
 
-use crate::diag::Finding;
-use crate::scanner::{Line, SourceFile};
+use std::collections::BTreeSet;
 
-/// Static description of one rule.
+use crate::callgraph::{CallGraph, FnNode};
+use crate::diag::Finding;
+use crate::pragma::{self, Pragma};
+use crate::scanner::{Line, SourceFile};
+use crate::syntax::{
+    self, ident_of, line_of, punct_of, walk_exprs, ExprCtx, FileSyntax, Tok, Token, Tree,
+};
+
+/// Static description of one rule, including the `--explain` material.
 #[derive(Debug, Clone, Copy)]
 pub struct RuleInfo {
     /// Stable id used in diagnostics and pragmas.
     pub id: &'static str,
     /// One-line summary.
     pub summary: &'static str,
+    /// The contract the rule enforces, stated as an invariant.
+    pub contract: &'static str,
+    /// Why the reproduction needs the contract.
+    pub rationale: &'static str,
+    /// Recipe for fixing a finding (or justifying a pragma).
+    pub fix: &'static str,
 }
 
 /// All rules, in id order.
@@ -24,50 +37,163 @@ pub const RULES: &[RuleInfo] = &[
         id: "R1",
         summary: "no HashMap/HashSet in node-simulation library code (crates/core, crates/sim): \
                   unordered iteration breaks deterministic replay",
+        contract: "library code under crates/core/src and crates/sim/src never names \
+                   HashMap/HashSet or their module paths",
+        rationale: "hash iteration order depends on RandomState; any node loop over a hash \
+                    collection makes (seed, graph, params) stop fixing the run, breaking \
+                    replay and the golden-ledger pins",
+        fix: "use BTreeMap/BTreeSet, or an index-based Vec keyed by dense node ids",
     },
     RuleInfo {
         id: "R2",
         summary: "no std::thread outside crates/sim/src/par_nodes.rs: all parallelism flows \
                   through the deterministic node pool",
+        contract: "std::thread (spawn/scope/Builder) appears only in \
+                   crates/sim/src/par_nodes.rs",
+        rationale: "par_map_nodes is the one parallel primitive proven bit-identical to \
+                    sequential execution; ad-hoc threads reintroduce scheduling \
+                    nondeterminism the equivalence tests cannot see",
+        fix: "express the parallel loop as par_map_nodes over a node range",
     },
     RuleInfo {
         id: "R3",
         summary: "no ambient nondeterminism (thread_rng, SystemTime::now, Instant::now, \
                   RandomState) in library code: randomness must flow through seeded rng modules",
+        contract: "library code draws randomness and time only through the seeded rng \
+                   modules (SplitMix64, SharedRandomness)",
+        rationale: "the paper's guarantees are statements about seeded executions; an \
+                    ambient source anywhere in a charged path makes runs unreproducible",
+        fix: "thread a seed or a SharedRandomness stream down to the call site; bench \
+              timing belongs in test/bench targets (which the rule skips)",
     },
     RuleInfo {
         id: "R4",
         summary: "every crate root (src/lib.rs, src/main.rs) carries #![forbid(unsafe_code)]",
+        contract: "each crate root declares #![forbid(unsafe_code)]",
+        rationale: "forbid (not deny) means no module can opt back in; the simulators have \
+                    no business with unsafe and the audit surface stays zero",
+        fix: "add `#![forbid(unsafe_code)]` at the top of src/lib.rs / src/main.rs",
     },
     RuleInfo {
         id: "R5",
         summary: "no unwrap()/short expect() in crates/core and crates/sim library code: \
                   panics must name the violated invariant",
+        contract: "library panics in crates/core and crates/sim carry an \
+                   expect(\"<invariant>\") message of at least 4 characters",
+        rationale: "a bare unwrap in a charged path turns a model violation into an \
+                    anonymous panic; naming the invariant makes ledger-corrupting states \
+                    diagnosable from the panic alone",
+        fix: "replace `.unwrap()` with `.expect(\"<which invariant holds and why>\")` or \
+              return a typed error",
     },
     RuleInfo {
         id: "R6",
         summary: "ledger charges go through counters declared in crates/sim/src/metrics.rs; \
                   no direct += on ledger counter fields elsewhere",
+        contract: "every charge_* call names a method declared in metrics.rs, and no code \
+                   outside metrics.rs mutates ledger counter fields directly",
+        rationale: "the E-series tables are read straight off the ledger; an ad-hoc \
+                    counter or direct field bump silently forks the accounting model",
+        fix: "add the counter as a RoundLedger method in metrics.rs and call it",
     },
     RuleInfo {
         id: "R7",
         summary: "engine bandwidth arguments in library code reference the named O(log n) \
                   word-size constants (cc_mis_sim::bits), never magic literals",
+        contract: "engine constructors receive bandwidth expressions built from \
+                   cc_mis_sim::bits constants, not integer literals",
+        rationale: "the Lemma 2.12/2.14 bounds are stated in O(log n)-bit words; a magic \
+                    literal hides whether an experiment ran in the model or beside it",
+        fix: "use standard_bandwidth(n) (or a named constant derived from it)",
     },
     RuleInfo {
         id: "R8",
         summary: "no registry dependencies in any Cargo.toml: every entry must be a path or \
                   workspace dependency (offline-build guard)",
+        contract: "every dependency entry in every manifest resolves in-tree (path = … or \
+                   workspace = true)",
+        rationale: "the workspace builds fully offline; one registry entry breaks the \
+                    build everywhere the registry is unreachable",
+        fix: "vendor the code in-tree as a workspace crate, or drop the dependency",
     },
     RuleInfo {
         id: "R9",
         summary: "in crates/sim, RoundLedger charge calls appear only in runtime.rs and \
                   metrics.rs: every engine bills through the unified round core",
+        contract: "within crates/sim, .charge_*() call sites exist only in runtime.rs and \
+                   metrics.rs",
+        rationale: "PR 3 unified all engine billing in RoundCore so charges are \
+                    byte-identical across engines; a charge elsewhere in the simulator \
+                    forks that single audited path",
+        fix: "route the charge through RoundCore (emit/record_schedule/finish_round) or \
+              add a RoundLedger method and bill from the core",
+    },
+    RuleInfo {
+        id: "R10",
+        summary: "every call path that reaches a RoundLedger charge or Transport send stays \
+                  inside RoundCore round execution (interprocedural closure of R9)",
+        contract: "no library function in crates/core or crates/sim outside \
+                   runtime.rs/metrics.rs charges a ledger, directly or through any chain \
+                   of calls that reaches an unsanctioned charge site",
+        rationale: "R9 pins charge call sites path-wise inside crates/sim; R10 closes the \
+                    interprocedural gap — a core-side helper that bills a ledger it owns \
+                    bypasses the round core just as surely, and so does any caller of such \
+                    a helper",
+        fix: "drive the communication through an engine round (RoundCore charges it), or — \
+              for analytic replay accounting in crates/core — keep the charge and justify \
+              it with `// conform: allow(R10) -- <which lemma the replay implements>`; a \
+              justified site stops the caller-side propagation",
+    },
+    RuleInfo {
+        id: "R11",
+        summary: "RNG-stream discipline: seeded per-node streams are never .clone()d, and \
+                  never re-seeded inside loops in library code",
+        contract: "library code does not clone RNG stream state and does not construct \
+                   SplitMix64/SharedRandomness inside a loop body; inside the rng modules \
+                   themselves no .clone() appears at all without a pragma",
+        rationale: "a cloned or re-seeded stream silently replays the same coins, which \
+                    breaks the independence assumptions behind every concentration bound \
+                    in the paper (and is invisible to the golden-ledger tests, which pin \
+                    totals, not distributions)",
+        fix: "pass `&mut` to the one stream, or derive an independent per-node stream \
+              through the Stream enum / mix3 keying; hoist constructors out of the loop",
+    },
+    RuleInfo {
+        id: "R12",
+        summary: "panic/overflow audit on charged paths: no truncating `as` casts, no \
+                  64-bit→usize index casts, no bare +/* on ledger counters",
+        contract: "inside functions on a charge path in crates/sim: no `as \
+                   u8/u16/u32/i8/i16/i32` casts, no `as usize` cast whose operand names a \
+                   64-bit type (unchecked index truncation), and no bare `+`/`*` on a \
+                   ledger counter field",
+        rationale: "ledger math must be provably non-truncating: a silent cast wrap or \
+                    counter overflow corrupts the Theorem 1.1 numbers without failing any \
+                    test; a checked conversion turns the same bug into a named panic",
+        fix: "use the width-safe helpers (cc_mis_sim::bits::idx_u32/idx_usize) or \
+              TryFrom with an invariant-naming expect; use \
+              checked_add(...).expect(\"<invariant>\") for counter arithmetic",
+    },
+    RuleInfo {
+        id: "R13",
+        summary: "no floating point in the accounting modules (metrics.rs, runtime.rs, \
+                  routing.rs): ledger bookkeeping is integer-exact",
+        contract: "library code in the accounting modules contains no f32/f64 tokens and \
+                   no float literals",
+        rationale: "float accumulation is rounding-order dependent, so one reassociated \
+                    sum would make ledgers diverge across refactors; probability math in \
+                    crates/core is exempt — it never writes a ledger",
+        fix: "keep counters u64 and compare via cross-multiplication instead of ratios; \
+              floats belong in analysis/reporting crates",
     },
     RuleInfo {
         id: "P1",
         summary: "conform pragmas must be well-formed, name known rules, and carry a \
                   justification",
+        contract: "every `conform: allow(...)` pragma parses, names existing rules, and \
+                   ends with `-- <justification>`",
+        rationale: "the escape hatch is part of the audit trail: an unjustified allow is \
+                    indistinguishable from a silenced bug",
+        fix: "write `// conform: allow(Rn) -- <why this site is sound>`",
     },
 ];
 
@@ -90,6 +216,21 @@ fn is_par_nodes(path: &str) -> bool {
 
 fn is_runtime(path: &str) -> bool {
     path == "crates/sim/src/runtime.rs"
+}
+
+fn is_routing(path: &str) -> bool {
+    path == "crates/sim/src/routing.rs"
+}
+
+/// The two seeded-stream modules, where R11 forbids any `.clone()`.
+fn is_rng_module(path: &str) -> bool {
+    path == "crates/sim/src/rng.rs" || path == "crates/graph/src/rng.rs"
+}
+
+/// The files where ledger charging is sanctioned (the round core and the
+/// ledger itself).
+fn is_charge_barrier(path: &str) -> bool {
+    is_metrics(path) || is_runtime(path)
 }
 
 fn is_crate_root(path: &str) -> bool {
@@ -483,4 +624,380 @@ fn registry_finding(path: &str, line: usize, name: &str) -> Finding {
              offline — use a path/workspace dependency or vendor the code in-tree"
         ),
     )
+}
+
+/// Runs the structural rules R10–R13 over the whole parsed workspace.
+///
+/// `syntaxes` and `pragmas` must be index-aligned with the `.rs` sources
+/// the call graph was built from. Pragmas are consulted here (not only in
+/// the caller's final filter) because a justified `allow(R10)` on a charge
+/// site must also stop the caller-side propagation.
+pub fn check_structural(
+    sources: &[SourceFile],
+    syntaxes: &[FileSyntax],
+    graph: &CallGraph,
+    pragmas: &[Vec<Pragma>],
+    findings: &mut Vec<Finding>,
+) {
+    check_r10(syntaxes, graph, pragmas, findings);
+    check_r11(syntaxes, findings);
+    check_r12(syntaxes, graph, findings);
+    check_r13(sources, syntaxes, findings);
+}
+
+/// R10: interprocedural closure of R9 — any library function outside the
+/// round core that charges a ledger is flagged, and so is every library
+/// caller that can reach it.
+fn check_r10(
+    syntaxes: &[FileSyntax],
+    graph: &CallGraph,
+    pragmas: &[Vec<Pragma>],
+    findings: &mut Vec<Finding>,
+) {
+    let admit = |n: &FnNode| {
+        let p = syntaxes[n.file].effective.as_str();
+        !n.is_test && in_sim_core(p) && !is_charge_barrier(p)
+    };
+    // Seeds: admitted fns with at least one unsuppressed direct charge.
+    let mut seeds = BTreeSet::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !admit(node) {
+            continue;
+        }
+        for call in &node.calls {
+            if call.method
+                && call.name.starts_with("charge_")
+                && !pragma::suppressed(&pragmas[node.file], "R10", call.line)
+            {
+                findings.push(Finding::new(
+                    &syntaxes[node.file].effective,
+                    call.line,
+                    "R10",
+                    format!(
+                        "`{}` calls `.{}()` outside RoundCore round execution: library \
+                         charges must flow through the round core, or carry a justified \
+                         allow(R10) for analytic replay accounting",
+                        node.name, call.name
+                    ),
+                ));
+                seeds.insert(i);
+            }
+        }
+    }
+    if seeds.is_empty() {
+        return;
+    }
+    // Every admitted caller that can reach a dirty fn is itself dirty: the
+    // charge happens whenever the caller runs, still outside the core.
+    let reach = graph.closure(seeds.iter().copied(), true, false, admit);
+    for &c in &reach {
+        if seeds.contains(&c) {
+            continue;
+        }
+        let node = &graph.nodes[c];
+        let mut seen: BTreeSet<(usize, &str)> = BTreeSet::new();
+        for call in &node.calls {
+            if graph.resolve(c, call).iter().any(|t| reach.contains(t))
+                && seen.insert((call.line, call.name.as_str()))
+            {
+                findings.push(Finding::new(
+                    &syntaxes[node.file].effective,
+                    call.line,
+                    "R10",
+                    format!(
+                        "`{}` calls `{}`, which reaches a ledger charge outside the round \
+                         core: the whole chain must run under RoundCore round execution",
+                        node.name, call.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// R11: RNG-stream discipline — no `.clone()` on stream state, no stream
+/// construction inside loops, in library code. Inside the rng modules
+/// themselves, any `.clone()` (test code included) needs a pragma.
+fn check_r11(syntaxes: &[FileSyntax], findings: &mut Vec<Finding>) {
+    for fs in syntaxes {
+        let path = fs.effective.as_str();
+        let strict = is_rng_module(path);
+        if !strict && !path.contains("/src/") {
+            continue;
+        }
+        for span in &fs.fns {
+            if span.is_test && !strict {
+                continue;
+            }
+            let in_lib = !span.is_test;
+            walk_exprs(fs.body_of(span), ExprCtx::default(), &mut |sibs, i, ctx| {
+                if ctx.in_macro {
+                    return;
+                }
+                // `.clone()` on a receiver that names an RNG stream (any
+                // receiver at all inside the rng modules).
+                if ident_of(&sibs[i]) == Some("clone")
+                    && i >= 2
+                    && punct_of(&sibs[i - 1]) == Some('.')
+                    && matches!(sibs.get(i + 1), Some(Tree::Group(g)) if g.delim == '(')
+                {
+                    let receiver = sibs.get(i - 2).and_then(ident_of).unwrap_or("");
+                    let lower = receiver.to_ascii_lowercase();
+                    let rng_ish = lower.contains("rng") || lower.contains("rand");
+                    if (in_lib && rng_ish) || strict {
+                        findings.push(Finding::new(
+                            path,
+                            line_of(&sibs[i]),
+                            "R11",
+                            format!(
+                                "`{}.clone()` duplicates seeded stream state: a cloned \
+                                 stream replays the same coins, breaking independence; \
+                                 pass `&mut` to the one stream or derive a keyed substream",
+                                if receiver.is_empty() {
+                                    "<expr>"
+                                } else {
+                                    receiver
+                                }
+                            ),
+                        ));
+                    }
+                }
+                // `SplitMix64::…` / `SharedRandomness::…` inside a loop body
+                // re-seeds a stream per iteration.
+                if in_lib
+                    && ctx.in_loop
+                    && matches!(ident_of(&sibs[i]), Some("SplitMix64" | "SharedRandomness"))
+                    && punct_of(sibs.get(i + 1).unwrap_or(&sibs[i])) == Some(':')
+                {
+                    findings.push(Finding::new(
+                        path,
+                        line_of(&sibs[i]),
+                        "R11",
+                        format!(
+                            "`{}` constructed inside a loop: re-seeding per iteration \
+                             correlates draws across iterations; hoist the stream out of \
+                             the loop or key a substream per index (mix3)",
+                            ident_of(&sibs[i]).unwrap_or("stream")
+                        ),
+                    ));
+                }
+            });
+        }
+    }
+}
+
+/// Ledger counter field names (RoundLedger and PhaseRecord).
+const LEDGER_FIELDS: &[&str] = &["rounds", "messages", "bits", "violations"];
+
+/// R12: panic/overflow audit of functions on a charge path in crates/sim.
+///
+/// The charge-path set is computed in two stages: the caller closure of
+/// every charge site (who can trigger a charge), intersected with
+/// crates/sim, then the callee closure of that set within crates/sim
+/// (everything such a function runs on the way). Core algorithm code is
+/// deliberately out of scope — its arithmetic is probability math, not
+/// ledger bookkeeping.
+fn check_r12(syntaxes: &[FileSyntax], graph: &CallGraph, findings: &mut Vec<Finding>) {
+    let mut seeds = BTreeSet::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.is_test {
+            continue;
+        }
+        if node.name.starts_with("charge_")
+            || node
+                .calls
+                .iter()
+                .any(|c| c.method && c.name.starts_with("charge_"))
+        {
+            seeds.insert(i);
+        }
+    }
+    let callers = graph.closure(seeds.iter().copied(), true, false, |n| !n.is_test);
+    let in_sim =
+        |n: &FnNode| !n.is_test && syntaxes[n.file].effective.starts_with("crates/sim/src");
+    let sim_roots: Vec<usize> = callers
+        .iter()
+        .copied()
+        .filter(|&i| in_sim(&graph.nodes[i]))
+        .collect();
+    let charged = graph.closure(sim_roots, false, true, in_sim);
+    for &i in &charged {
+        let node = &graph.nodes[i];
+        if !in_sim(node) {
+            continue;
+        }
+        let fs = &syntaxes[node.file];
+        let path = fs.effective.as_str();
+        let body = fs.body_of(&fs.fns[node.item]);
+        let mut seen: BTreeSet<(usize, &'static str)> = BTreeSet::new();
+        walk_exprs(body, ExprCtx::default(), &mut |sibs, j, ctx| {
+            if ctx.in_macro {
+                return;
+            }
+            let line = line_of(&sibs[j]);
+            // (a)/(b): `as` casts.
+            if ident_of(&sibs[j]) == Some("as") {
+                match sibs.get(j + 1).and_then(ident_of) {
+                    Some(t @ ("u8" | "u16" | "u32" | "i8" | "i16" | "i32"))
+                        if seen.insert((line, "cast")) =>
+                    {
+                        findings.push(Finding::new(
+                            path,
+                            line,
+                            "R12",
+                            format!(
+                                "truncating `as {t}` in `{}`, which is on a charge \
+                                 path: a silent wrap corrupts ledger math; use \
+                                 cc_mis_sim::bits::idx_u32 or TryFrom with an \
+                                 invariant-naming expect",
+                                node.name
+                            ),
+                        ));
+                    }
+                    Some("usize")
+                        if operand_mentions_64bit(sibs, j) && seen.insert((line, "idx")) =>
+                    {
+                        let where_ = if ctx.in_index {
+                            "an index expression"
+                        } else {
+                            "a charge path"
+                        };
+                        findings.push(Finding::new(
+                            path,
+                            line,
+                            "R12",
+                            format!(
+                                "`as usize` on a 64-bit operand in `{}` (inside \
+                                 {where_}): on 32-bit targets this truncates; use \
+                                 cc_mis_sim::bits::idx_usize or usize::try_from",
+                                node.name
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            // (c): bare `+`/`*` on a ledger counter field (`+=` is R6's
+            // business; this closes the `x = x + y` loophole).
+            if let Some(field) = ident_of(&sibs[j]).filter(|f| LEDGER_FIELDS.contains(f)) {
+                let dotted = j > 0 && punct_of(&sibs[j - 1]) == Some('.');
+                let op = sibs.get(j + 1).and_then(punct_of);
+                let compound = sibs.get(j + 2).and_then(punct_of) == Some('=');
+                if dotted
+                    && matches!(op, Some('+' | '*'))
+                    && !compound
+                    && seen.insert((line, "arith"))
+                {
+                    findings.push(Finding::new(
+                        path,
+                        line,
+                        "R12",
+                        format!(
+                            "bare `{}` on ledger counter `.{field}` in `{}`: counter \
+                             arithmetic on a charge path must be \
+                             checked_add(...).expect(\"<invariant>\") so overflow panics \
+                             instead of corrupting the ledger",
+                            op.unwrap_or('+'),
+                            node.name
+                        ),
+                    ));
+                }
+            }
+        });
+    }
+}
+
+/// True if the expression ending just before the `as` at `sibs[as_at]`
+/// mentions a 64-bit integer type. Token-level: walks backwards over the
+/// operand trees (including group contents) looking for `u64`/`i64`.
+/// Misses variables whose 64-bit type is only in a declaration elsewhere —
+/// a documented approximation (DESIGN.md §8).
+fn operand_mentions_64bit(sibs: &[Tree], as_at: usize) -> bool {
+    let mut j = as_at;
+    while j > 0 {
+        let prev = &sibs[j - 1];
+        let expr_ish = match prev {
+            Tree::Group(_) => true,
+            Tree::Leaf(Token {
+                tok: Tok::Ident(s), ..
+            }) => !syntax::is_keyword(s) || matches!(s.as_str(), "self" | "Self" | "as"),
+            Tree::Leaf(Token {
+                tok: Tok::Num(_) | Tok::Lit,
+                ..
+            }) => true,
+            Tree::Leaf(Token {
+                tok: Tok::Punct(c), ..
+            }) => matches!(c, '.' | ':' | '?'),
+        };
+        if !expr_ish {
+            return false;
+        }
+        if tree_mentions_64bit(prev) {
+            return true;
+        }
+        j -= 1;
+    }
+    false
+}
+
+fn tree_mentions_64bit(tree: &Tree) -> bool {
+    match tree {
+        Tree::Leaf(Token {
+            tok: Tok::Ident(s), ..
+        }) => s == "u64" || s == "i64",
+        Tree::Leaf(Token {
+            tok: Tok::Num(s), ..
+        }) => s.contains("u64") || s.contains("i64"),
+        Tree::Leaf(_) => false,
+        Tree::Group(g) => g.children.iter().any(tree_mentions_64bit),
+    }
+}
+
+/// R13: the accounting modules are integer-exact — no float types or
+/// literals in library lines of metrics.rs, runtime.rs, or routing.rs.
+fn check_r13(sources: &[SourceFile], syntaxes: &[FileSyntax], findings: &mut Vec<Finding>) {
+    for (fi, fs) in syntaxes.iter().enumerate() {
+        let path = fs.effective.as_str();
+        if !(is_metrics(path) || is_runtime(path) || is_routing(path)) {
+            continue;
+        }
+        let lines = &sources[fi].lines;
+        let mut seen = BTreeSet::new();
+        visit_float_tokens(&fs.roots, &mut |line, what| {
+            let in_test = lines.get(line - 1).is_some_and(|l| l.in_test);
+            if !in_test && seen.insert(line) {
+                findings.push(Finding::new(
+                    path,
+                    line,
+                    "R13",
+                    format!(
+                        "{what} in an accounting module: ledger bookkeeping must be \
+                         integer-exact (float accumulation is rounding-order dependent); \
+                         keep counters u64 and compare via cross-multiplication"
+                    ),
+                ));
+            }
+        });
+    }
+}
+
+/// Calls `f(line, description)` for every float type name or float literal
+/// in `trees` (recursively).
+fn visit_float_tokens(trees: &[Tree], f: &mut impl FnMut(usize, &str)) {
+    for t in trees {
+        match t {
+            Tree::Leaf(Token {
+                tok: Tok::Ident(s),
+                line,
+            }) if s == "f64" || s == "f32" => f(*line, "float type `f64`/`f32`"),
+            Tree::Leaf(Token {
+                tok: Tok::Num(s),
+                line,
+            }) if s.contains('.') || s.contains("f64") || s.contains("f32") => {
+                f(*line, "float literal")
+            }
+            Tree::Group(g) => visit_float_tokens(&g.children, f),
+            Tree::Leaf(_) => {}
+        }
+    }
 }

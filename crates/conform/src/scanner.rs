@@ -269,6 +269,10 @@ fn test_path(effective: &str) -> bool {
 }
 
 /// Marks lines inside `#[cfg(test)]` items (and whole test-target files).
+/// The per-item marking is structural: [`crate::syntax`] parses the code
+/// channel into token trees and attributes `#[cfg(test)]` to the item it
+/// governs, so nested modules, multi-line items, and braces inside
+/// literals are all handled exactly.
 fn mark_tests(effective: &str, lines: &mut [Line]) {
     if test_path(effective) {
         for l in lines.iter_mut() {
@@ -276,43 +280,7 @@ fn mark_tests(effective: &str, lines: &mut [Line]) {
         }
         return;
     }
-    let mut depth: i64 = 0;
-    // Depths at which `#[cfg(test)]` items opened a brace.
-    let mut regions: Vec<i64> = Vec::new();
-    let mut pending = false;
-    for line in lines.iter_mut() {
-        if !regions.is_empty() {
-            line.in_test = true;
-        }
-        if line.code.contains("#[cfg(test)]") {
-            pending = true;
-            line.in_test = true;
-        }
-        for c in line.code.chars() {
-            match c {
-                '{' => {
-                    if pending {
-                        regions.push(depth);
-                        pending = false;
-                        line.in_test = true;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if regions.last().is_some_and(|&d| depth <= d) {
-                        regions.pop();
-                    }
-                }
-                // `#[cfg(test)] use …;` / `mod tests;` — single item.
-                ';' if pending && regions.is_empty() => {
-                    pending = false;
-                    line.in_test = true;
-                }
-                _ => {}
-            }
-        }
-    }
+    crate::syntax::mark_cfg_test(lines);
 }
 
 #[cfg(test)]

@@ -133,6 +133,156 @@ fn r9_sim_charges_outside_the_round_core() {
 }
 
 #[test]
+fn r10_charges_reachable_outside_the_round_core() {
+    assert_fires_and_clean("R10", "r10_fires.rs", "r10_clean.rs");
+    // The direct charge AND the caller that reaches it are both reported.
+    let firing = check(&[fixture("r10_fires.rs")]);
+    let r10: Vec<&Finding> = firing.iter().filter(|f| f.rule == "R10").collect();
+    assert_eq!(r10.len(), 2, "{firing:?}");
+    assert!(
+        r10.iter()
+            .any(|f| f.message.contains("`driver` calls `bill_directly`")),
+        "propagated caller finding expected: {firing:?}"
+    );
+}
+
+#[test]
+fn r10_justified_charge_stops_caller_propagation() {
+    // The clean twin has the same call chain; the allow(R10) on the charge
+    // site must also clear `driver`, which only reaches the justified site.
+    let findings = check(&[fixture("r10_clean.rs")]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn r11_stream_clone_and_reseeding_in_loop() {
+    assert_fires_and_clean("R11", "r11_fires.rs", "r11_clean.rs");
+    let firing = check(&[fixture("r11_fires.rs")]);
+    let r11: Vec<&Finding> = firing.iter().filter(|f| f.rule == "R11").collect();
+    // One for the in-loop constructor, one for the stream clone.
+    assert_eq!(r11.len(), 2, "{firing:?}");
+    assert!(r11.iter().any(|f| f.message.contains("inside a loop")));
+    assert!(r11.iter().any(|f| f.message.contains("clone()")));
+}
+
+#[test]
+fn r12_overflow_audit_on_charge_paths() {
+    assert_fires_and_clean("R12", "r12_fires.rs", "r12_clean.rs");
+    let firing = check(&[fixture("r12_fires.rs")]);
+    let r12: Vec<&Finding> = firing.iter().filter(|f| f.rule == "R12").collect();
+    // Truncating `as u32`, 64-bit `as usize` in an index, bare `+` on a
+    // ledger counter — three distinct hazards, three findings.
+    assert_eq!(r12.len(), 3, "{firing:?}");
+    assert!(r12
+        .iter()
+        .any(|f| f.message.contains("truncating `as u32`")));
+    assert!(r12
+        .iter()
+        .any(|f| f.message.contains("`as usize` on a 64-bit operand")));
+    assert!(r12
+        .iter()
+        .any(|f| f.message.contains("bare `+` on ledger counter `.bits`")));
+}
+
+#[test]
+fn r13_floats_in_accounting_modules() {
+    assert_fires_and_clean("R13", "r13_fires.rs", "r13_clean.rs");
+}
+
+/// Maps a rule id to its (firing, clean) fixture file names.
+fn fixture_pair(id: &str) -> (String, String) {
+    match id {
+        "P1" => (
+            "pragma_unjustified.rs".to_string(),
+            "pragma_justified.rs".to_string(),
+        ),
+        "R8" => ("r8_fires.toml".to_string(), "r8_clean.toml".to_string()),
+        other => {
+            let stem = other.to_lowercase();
+            (format!("{stem}_fires.rs"), format!("{stem}_clean.rs"))
+        }
+    }
+}
+
+#[test]
+fn every_rule_has_a_firing_and_a_clean_fixture() {
+    // Meta-test: adding a rule to RULES without fixture coverage fails here,
+    // and the firing/clean contract is enforced uniformly for all of them.
+    for rule in cc_mis_conform::rules::RULES {
+        let (fires, clean) = fixture_pair(rule.id);
+        // R6 compares call sites against the declared counter set, which is
+        // extracted from whatever file scopes as metrics.rs.
+        let mut firing_inputs = vec![fixture(&fires)];
+        if rule.id == "R6" {
+            firing_inputs.insert(0, fixture("r6_metrics.rs"));
+        }
+        let firing = check(&firing_inputs);
+        assert!(
+            firing.iter().any(|f| f.rule == rule.id),
+            "{fires} should report {}: {firing:?}",
+            rule.id
+        );
+        let clean_findings = check(&[fixture(&clean)]);
+        assert!(
+            clean_findings.is_empty(),
+            "{clean} should be clean, got {clean_findings:?}"
+        );
+    }
+}
+
+#[test]
+fn json_schema_is_frozen() {
+    // Snapshot of the machine-readable schema consumed by CI tooling.
+    // Extend the document append-only; editing existing fields is a breaking
+    // change and must fail this test.
+    let findings = vec![
+        Finding::new("crates/sim/src/lib.rs", 3, "R1", "no hash iteration"),
+        Finding::new("crates/sim/src/lib.rs", 9, "P1", "unjustified pragma"),
+    ];
+    let expected = r#"{
+  "findings": [
+    {
+      "path": "crates/sim/src/lib.rs",
+      "line": 3,
+      "rule": "R1",
+      "severity": "warning",
+      "message": "no hash iteration"
+    },
+    {
+      "path": "crates/sim/src/lib.rs",
+      "line": 9,
+      "rule": "P1",
+      "severity": "error",
+      "message": "unjustified pragma"
+    }
+  ],
+  "count": 2
+}"#;
+    assert_eq!(
+        cc_mis_conform::diag::to_json(&findings).trim_end(),
+        expected
+    );
+}
+
+#[test]
+fn sarif_log_carries_rules_and_results() {
+    let findings = vec![Finding::new("crates/sim/src/lib.rs", 3, "R12", "cast")];
+    let sarif = cc_mis_conform::diag::to_sarif(&findings);
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"name\": \"cc-mis-conform\""), "{sarif}");
+    assert!(sarif.contains("\"ruleId\": \"R12\""), "{sarif}");
+    assert!(sarif.contains("\"startLine\": 3"), "{sarif}");
+    // Every rule's metadata rides along in tool.driver.rules.
+    for rule in cc_mis_conform::rules::RULES {
+        assert!(
+            sarif.contains(&format!("\"id\": \"{}\"", rule.id)),
+            "missing metadata for {}",
+            rule.id
+        );
+    }
+}
+
+#[test]
 fn justified_pragma_suppresses() {
     let findings = check(&[fixture("pragma_justified.rs")]);
     assert!(findings.is_empty(), "{findings:?}");

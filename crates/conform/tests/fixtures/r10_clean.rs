@@ -1,0 +1,14 @@
+// conform-fixture: crates/core/src/fixture_demo.rs
+use cc_mis_sim::RoundLedger;
+
+/// Analytic replay accounting: the justified pragma sanctions the charge
+/// site and stops the caller-side propagation.
+pub fn bill_replay(ledger: &mut RoundLedger) {
+    // conform: allow(R10) -- analytic replay accounting fixture: charge computed post hoc, no live transport
+    ledger.charge_rounds(3);
+}
+
+/// Clean: its only path to a charge goes through the justified site.
+pub fn driver(ledger: &mut RoundLedger) {
+    bill_replay(ledger);
+}

@@ -1,0 +1,13 @@
+// conform-fixture: crates/core/src/fixture_demo.rs
+use cc_mis_sim::RoundLedger;
+
+/// Charges directly — outside RoundCore round execution.
+pub fn bill_directly(ledger: &mut RoundLedger) {
+    ledger.charge_rounds(3);
+}
+
+/// Never charges itself, but reaches the charge through a call — the
+/// interprocedural propagation flags the call site too.
+pub fn driver(ledger: &mut RoundLedger) {
+    bill_directly(ledger);
+}

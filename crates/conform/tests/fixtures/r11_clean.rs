@@ -1,0 +1,12 @@
+// conform-fixture: crates/core/src/fixture_demo.rs
+use cc_mis_graph::rng::SplitMix64;
+
+pub fn independent_coins(seed: u64, n: u64) -> u64 {
+    // One stream, constructed once, threaded mutably through the loop.
+    let mut rng = SplitMix64::new(seed);
+    let mut acc = 0u64;
+    for _ in 0..n {
+        acc ^= rng.next_u64();
+    }
+    acc
+}

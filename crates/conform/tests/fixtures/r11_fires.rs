@@ -1,0 +1,15 @@
+// conform-fixture: crates/core/src/fixture_demo.rs
+use cc_mis_graph::rng::SplitMix64;
+
+pub fn correlated_coins(seed: u64, n: u64, rng: &SplitMix64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..n {
+        // Re-seeding per iteration correlates draws across iterations.
+        let mut fresh = SplitMix64::new(seed ^ i);
+        acc ^= fresh.next_u64();
+        // Cloning replays the same coins.
+        let mut ghost = rng.clone();
+        acc ^= ghost.next_u64();
+    }
+    acc
+}

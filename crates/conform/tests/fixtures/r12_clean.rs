@@ -1,0 +1,22 @@
+// conform-fixture: crates/sim/src/runtime.rs
+use crate::bits::idx_u32;
+use crate::metrics::RoundLedger;
+
+pub struct Core {
+    pub total: u64,
+    idxs: Vec<u32>,
+}
+
+impl Core {
+    /// Same charge path as the firing twin, with width-safe conversions
+    /// and checked arithmetic only.
+    pub fn bill(&mut self, ledger: &mut RoundLedger, extra: u64) {
+        ledger.charge_message(extra);
+        self.idxs[0] = idx_u32(self.idxs.len());
+        let widened = self.idxs[0] as u64;
+        self.total = self
+            .total
+            .checked_add(widened)
+            .expect("total stays within u64 for bounded runs");
+    }
+}

@@ -1,0 +1,21 @@
+// conform-fixture: crates/sim/src/runtime.rs
+use crate::metrics::RoundLedger;
+
+pub struct Core {
+    pub bits: u64,
+    idxs: Vec<u32>,
+}
+
+impl Core {
+    /// On a charge path (it bills the ledger), so the overflow audit
+    /// applies to everything it does.
+    pub fn bill(&mut self, ledger: &mut RoundLedger, extra: u64, key: u64) {
+        ledger.charge_message(extra);
+        // Truncating cast: silently wraps past 2^32 entries.
+        self.idxs[0] = self.idxs.len() as u32;
+        // 64-bit operand cast straight into an index: truncates on 32-bit.
+        let slot = self.idxs[(key % 7u64) as usize];
+        // Bare addition on a ledger-typed counter: overflow wraps silently.
+        self.bits = self.bits + u64::from(slot);
+    }
+}

@@ -1,0 +1,11 @@
+// conform-fixture: crates/sim/src/metrics.rs
+/// Integer-exact accounting: ratios compare via cross-multiplication.
+pub struct Stats {
+    pub total: u64,
+    pub samples: u64,
+}
+
+/// True if the running mean exceeds `num/den`, without ever dividing.
+pub fn mean_exceeds(stats: &Stats, num: u64, den: u64) -> bool {
+    stats.total * den > num * stats.samples
+}

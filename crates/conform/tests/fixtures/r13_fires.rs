@@ -1,0 +1,9 @@
+// conform-fixture: crates/sim/src/metrics.rs
+/// Float bookkeeping in the accounting module: rounding-order dependent.
+pub struct Stats {
+    pub mean_bits: f64,
+}
+
+pub fn update(stats: &mut Stats, bits: u64, n: u64) {
+    stats.mean_bits = bits as f64 / n as f64;
+}

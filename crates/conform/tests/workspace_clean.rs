@@ -1,5 +1,5 @@
 //! Meta-test: the live workspace is conform-clean, and the CLI's exit
-//! codes match its contract (0 clean, 1 findings).
+//! codes match its contract (0 clean, 1 findings, 3 any P1, 2 usage).
 
 use std::path::Path;
 use std::process::Command;
@@ -81,7 +81,64 @@ fn cli_list_rules_names_every_rule() {
         .expect("linter binary runs");
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for id in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "P1"] {
-        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    for rule in cc_mis_conform::rules::RULES {
+        assert!(
+            stdout.contains(rule.id),
+            "missing {} in:\n{stdout}",
+            rule.id
+        );
     }
+}
+
+#[test]
+fn cli_explain_prints_contract_rationale_fix() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .args(["--explain", "R12"])
+        .output()
+        .expect("linter binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for section in ["R12", "contract:", "rationale:", "fix:"] {
+        assert!(stdout.contains(section), "missing {section} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn cli_explain_unknown_rule_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .args(["--explain", "R99"])
+        .output()
+        .expect("linter binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown rule"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn cli_sarif_writes_a_log_alongside_normal_output() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/r12_fires.rs");
+    let sarif_path = std::env::temp_dir().join("cc-mis-conform-test.sarif");
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .arg("--sarif")
+        .arg(&sarif_path)
+        .arg(&fixture)
+        .output()
+        .expect("linter binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let sarif = std::fs::read_to_string(&sarif_path).expect("SARIF log written");
+    let _ = std::fs::remove_file(&sarif_path);
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"ruleId\": \"R12\""), "{sarif}");
+}
+
+#[test]
+fn cli_p1_findings_exit_three() {
+    let fixture =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/pragma_unjustified.rs");
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .arg(&fixture)
+        .output()
+        .expect("linter binary runs");
+    // The unjustified pragma is a P1 ("error"), which outranks plain findings.
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
 }

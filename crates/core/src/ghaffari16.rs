@@ -351,6 +351,7 @@ pub fn run_ghaffari16_clique_observed(
     // each directed alive edge plus join bits; charge what the CONGEST
     // execution sends.
     let executed = executed_iterations(&evo, budget);
+    // conform: allow(R10) -- analytic replay accounting: bills the CONGEST execution's rounds after the fact, no live transport
     engine.ledger_mut().charge_rounds(2 * executed);
     {
         let alive_at = |i: usize, t: u64| match evo.removed_at[i] {
@@ -365,6 +366,7 @@ pub fn run_ghaffari16_clique_observed(
                     directed += 2;
                 }
             }
+            // conform: allow(R10) -- analytic replay accounting: per-iteration edge exchange billed from the replayed evolution
             ledger.charge_aggregate(directed, directed * (PROBABILITY_EXPONENT_BITS + 1));
         }
     }

@@ -186,6 +186,7 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
         // Phase-start exchange round: every undecided node learns its
         // undecided neighbors' p. One round, PROBABILITY_EXPONENT_BITS per
         // directed alive edge.
+        // conform: allow(R10) -- analytic replay accounting per Lemma 2.12: charges computed from the direct execution, no live transport
         ledger.charge_round();
         let alive0: Vec<bool> = removed_at.iter().map(Option::is_none).collect();
         {
@@ -198,6 +199,7 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
                         .count() as u64
                 })
                 .sum();
+            // conform: allow(R10) -- analytic replay accounting per Lemma 2.12: charges computed from the direct execution, no live transport
             ledger.charge_aggregate(
                 alive_directed_edges,
                 alive_directed_edges * cc_mis_sim::bits::PROBABILITY_EXPONENT_BITS,
@@ -264,10 +266,12 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
             // come from the joiners.
             for (i, _) in beeps.iter().enumerate().filter(|(_, &b)| b) {
                 let deg = g.degree(NodeId::new(i as u32)) as u64;
+                // conform: allow(R10) -- analytic replay of beep costs (Lemma 2.13), no live transport behind this charge
                 ledger.charge_aggregate(deg, deg);
             }
             for &i in &joins {
                 let deg = g.degree(NodeId::new(i as u32)) as u64;
+                // conform: allow(R10) -- analytic replay of join-beep costs (Lemma 2.13), no live transport behind this charge
                 ledger.charge_aggregate(deg, deg);
             }
 
@@ -285,6 +289,7 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
                     }
                 }
             }
+            // conform: allow(R10) -- analytic replay accounting: two beeping rounds per iteration (Lemma 2.13)
             ledger.charge_rounds(2);
         }
         t0 += len as u64;

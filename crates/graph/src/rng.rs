@@ -204,6 +204,7 @@ mod tests {
         let mut r = SplitMix64::new(11);
         let mut v: Vec<u32> = (0..50).collect();
         r.shuffle(&mut v);
+        // conform: allow(R11) -- clones the shuffled Vec for a sort check, not an RNG stream
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<u32>>());

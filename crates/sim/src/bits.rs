@@ -63,6 +63,21 @@ pub const MAX_PROBABILITY_EXPONENT: u32 = 64;
 /// sizes we run, which is within the model's `O(log n)` per value).
 pub const COIN_BITS: u64 = 32;
 
+/// Width-safe `usize → u32` index conversion for the compact `u32` index
+/// tables in the runtime and router. Panics (naming the invariant) instead
+/// of silently wrapping when an index exceeds `u32::MAX` — runs that large
+/// are outside every table in the paper.
+pub fn idx_u32(i: usize) -> u32 {
+    u32::try_from(i).expect("index fits the u32 tables (n well below 2^32)")
+}
+
+/// Width-safe `u64 → usize` conversion for indexing with 64-bit arithmetic
+/// results. Panics (naming the invariant) instead of truncating on 32-bit
+/// targets.
+pub fn idx_usize(i: u64) -> usize {
+    usize::try_from(i).expect("64-bit index fits usize on this target")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

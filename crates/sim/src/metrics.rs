@@ -68,27 +68,27 @@ impl RoundLedger {
 
     /// Records one elapsed synchronous round.
     pub fn charge_round(&mut self) {
-        self.rounds += 1;
+        bump(&mut self.rounds, 1);
         if let Some(p) = self.phases.last_mut() {
-            p.rounds += 1;
+            bump(&mut p.rounds, 1);
         }
     }
 
     /// Records `n` elapsed synchronous rounds.
     pub fn charge_rounds(&mut self, n: u64) {
-        self.rounds += n;
+        bump(&mut self.rounds, n);
         if let Some(p) = self.phases.last_mut() {
-            p.rounds += n;
+            bump(&mut p.rounds, n);
         }
     }
 
     /// Records one message of `bits` bits.
     pub fn charge_message(&mut self, bits: u64) {
-        self.messages += 1;
-        self.bits += bits;
+        bump(&mut self.messages, 1);
+        bump(&mut self.bits, bits);
         if let Some(p) = self.phases.last_mut() {
-            p.messages += 1;
-            p.bits += bits;
+            bump(&mut p.messages, 1);
+            bump(&mut p.bits, bits);
         }
     }
 
@@ -97,11 +97,11 @@ impl RoundLedger {
     /// [`RoundLedger::charge_message`] for schedules that account whole
     /// fragment batches at once (e.g. the Lenzen scheduler).
     pub fn charge_fragments(&mut self, messages: u64, bits: u64) {
-        self.messages += messages;
-        self.bits += bits;
+        bump(&mut self.messages, messages);
+        bump(&mut self.bits, bits);
         if let Some(p) = self.phases.last_mut() {
-            p.messages += messages;
-            p.bits += bits;
+            bump(&mut p.messages, messages);
+            bump(&mut p.bits, bits);
         }
     }
 
@@ -111,23 +111,31 @@ impl RoundLedger {
     /// placement is not meaningful (the charges were computed after the
     /// fact, not inside a phase).
     pub fn charge_aggregate(&mut self, messages: u64, bits: u64) {
-        self.messages += messages;
-        self.bits += bits;
+        bump(&mut self.messages, messages);
+        bump(&mut self.bits, bits);
     }
 
     /// Records a bandwidth violation (audit mode).
     pub fn charge_violation(&mut self) {
-        self.violations += 1;
+        bump(&mut self.violations, 1);
     }
 
     /// Adds every counter of `other` into `self` (phases are appended).
     pub fn merge(&mut self, other: &RoundLedger) {
-        self.rounds += other.rounds;
-        self.messages += other.messages;
-        self.bits += other.bits;
-        self.violations += other.violations;
+        bump(&mut self.rounds, other.rounds);
+        bump(&mut self.messages, other.messages);
+        bump(&mut self.bits, other.bits);
+        bump(&mut self.violations, other.violations);
         self.phases.extend(other.phases.iter().cloned());
     }
+}
+
+/// Checked counter bump: ledger totals are the paper's Theorem 1.1 numbers,
+/// so overflow must panic (naming the invariant) rather than wrap silently.
+fn bump(counter: &mut u64, by: u64) {
+    *counter = counter
+        .checked_add(by)
+        .expect("ledger counter stays within u64 (bits per run bounded far below 2^64)");
 }
 
 impl fmt::Display for RoundLedger {

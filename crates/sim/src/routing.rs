@@ -32,6 +32,7 @@ use std::collections::VecDeque;
 
 use cc_mis_graph::NodeId;
 
+use crate::bits::{idx_u32, idx_usize};
 use crate::clique::CliqueEngine;
 
 /// One routed message.
@@ -349,7 +350,7 @@ impl ScheduleScratch {
         let mut next: Vec<u32> = self.group_start.clone();
         for i in 0..len {
             let k = key(i);
-            self.order[next[k] as usize] = i as u32;
+            self.order[next[k] as usize] = idx_u32(i);
             next[k] += 1;
         }
     }
@@ -414,8 +415,8 @@ fn schedule_batch<M>(
             &scratch.order[scratch.group_start[s] as usize..scratch.group_start[s + 1] as usize];
         for (i, &idx) in group.iter().enumerate() {
             let p = &batch[idx as usize];
-            let relay = ((s as u64 + i as u64) % n as u64) as usize;
-            scratch.relay_of[idx as usize] = relay as u32;
+            let relay = idx_usize((s as u64 + i as u64) % n as u64);
+            scratch.relay_of[idx as usize] = idx_u32(relay);
             if relay != s {
                 let k = slots(p.bits);
                 if scratch.loads[relay] == 0 {

@@ -35,6 +35,7 @@ use std::rc::Rc;
 
 use cc_mis_graph::{Graph, NodeId};
 
+use crate::bits::idx_u32;
 use crate::metrics::{BandwidthError, RoundLedger};
 
 /// Enforcement mode for bandwidth budgets.
@@ -124,7 +125,7 @@ impl PairBits {
             }
             if k == PAIR_EMPTY {
                 self.keys[i] = key;
-                self.idxs[i] = self.log.len() as u32;
+                self.idxs[i] = idx_u32(self.log.len());
                 self.log.push((key, 0));
                 return &mut self.log.last_mut().expect("log tail exists: just pushed").1;
             }
@@ -149,7 +150,7 @@ impl PairBits {
                 i = (i + 1) & mask;
             }
             self.keys[i] = k;
-            self.idxs[i] = at as u32;
+            self.idxs[i] = idx_u32(at);
         }
     }
 }

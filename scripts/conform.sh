@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
 # Runs the in-tree conformance linter over the whole workspace.
+#
 # Exits 0 on a clean tree, 1 on findings (printed as file:line rule-id msg),
-# 2 on usage/IO errors. Pass --json for machine-readable output.
+# 3 if any finding is a P1 pragma violation, 2 on usage/IO errors.
+#
+# Extra flags pass straight through to the linter:
+#   scripts/conform.sh --json                # machine-readable findings
+#   scripts/conform.sh --sarif out.sarif     # also write a SARIF 2.1.0 log
+#   scripts/conform.sh --explain R12         # contract, rationale, fix recipe
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
