@@ -5,7 +5,9 @@
 use cc_mis_analysis::trace::JsonlTraceSink;
 use cc_mis_bench::harness::Harness;
 use cc_mis_core::beeping_mis::{run_beeping_to_completion, BeepingParams};
-use cc_mis_core::clique_mis::{run_clique_mis, run_clique_mis_observed, CliqueMisParams};
+use cc_mis_core::clique_mis::{
+    run_clique_mis, run_clique_mis_observed, CliqueMisExecution, CliqueMisParams,
+};
 use cc_mis_core::ghaffari16::{run_ghaffari16, run_ghaffari16_clique, Ghaffari16Params};
 use cc_mis_core::greedy::greedy_mis;
 use cc_mis_core::lowdeg::{run_lowdeg, LowDegParams};
@@ -54,6 +56,19 @@ fn main() {
             out
         });
         let _ = std::fs::remove_file(&trace_path);
+        // Same run snapshotting every 8th step into a byte sink: the gap
+        // between this and the plain thm11 line is the full cost of
+        // `--checkpoint-every 8` minus the disk write.
+        h.bench(&format!("clique_mis_thm11_checkpointed/n{n}"), || {
+            let mut snapshot_bytes = 0usize;
+            let out = cc_mis_sim::drive_with_checkpoints(
+                CliqueMisExecution::new(&g, &CliqueMisParams::default(), 1),
+                None,
+                8,
+                |_, bytes| snapshot_bytes = bytes.len(),
+            );
+            (out, snapshot_bytes)
+        });
     }
     let sparse = generators::random_regular(1024, 4, 6);
     h.bench("lowdeg_regular4_n1024", || {

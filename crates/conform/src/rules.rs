@@ -186,6 +186,22 @@ pub const RULES: &[RuleInfo] = &[
               floats belong in analysis/reporting crates",
     },
     RuleInfo {
+        id: "R14",
+        summary: "in crates/core, engine rounds are opened only by step-driven runner \
+                  modules (files with an `impl Execution for`) or the sanctioned round \
+                  substrate: ad-hoc round loops bypass the driver",
+        contract: "every non-test `begin_round` call site in crates/core/src sits in a \
+                   module that implements the `Execution` trait, or in the round \
+                   substrate (cleanup.rs)",
+        rationale: "checkpoint/resume is sound only if all round progress flows through \
+                    `Execution::step`, where the driver counts steps and snapshots at \
+                    boundaries; a round opened outside a runner module advances engine \
+                    and ledger state the snapshot layer never sees",
+        fix: "move the round loop into an `Execution::step` implementation (driving it \
+              via `drive`/`drive_observed`), or — for shared leader-election style \
+              subroutines called from `step` — house it in the round substrate module",
+    },
+    RuleInfo {
         id: "P1",
         summary: "conform pragmas must be well-formed, name known rules, and carry a \
                   justification",
@@ -233,6 +249,12 @@ fn is_charge_barrier(path: &str) -> bool {
     is_metrics(path) || is_runtime(path)
 }
 
+/// The crates/core round substrate: shared subroutines (leader-election
+/// clean-up) that open engine rounds on behalf of a runner's `step`.
+fn is_round_substrate(path: &str) -> bool {
+    path == "crates/core/src/cleanup.rs"
+}
+
 fn is_crate_root(path: &str) -> bool {
     path.ends_with("src/lib.rs") || path.ends_with("src/main.rs")
 }
@@ -264,6 +286,12 @@ pub fn declared_counters(files: &[SourceFile]) -> Vec<String> {
 /// Runs rules R1–R7 over one scanned file, appending findings.
 pub fn check_file(file: &SourceFile, counters: &[String], findings: &mut Vec<Finding>) {
     let path = file.effective.as_str();
+    // R14 marker: a file that implements the `Execution` trait is a
+    // driver-sanctioned runner module and may open engine rounds.
+    let is_runner_module = file
+        .lines
+        .iter()
+        .any(|l| l.code.contains("impl Execution for"));
     let mut has_forbid = false;
     for (idx, line) in file.lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -413,6 +441,26 @@ pub fn check_file(file: &SourceFile, counters: &[String], findings: &mut Vec<Fin
                     ),
                 ));
             }
+        }
+
+        // R14 — in crates/core, engine rounds open only under the driver:
+        // inside a runner module (one with an `impl Execution for`) or the
+        // sanctioned round substrate. Anywhere else, round progress would
+        // escape step counting and checkpoint boundaries.
+        if path.starts_with("crates/core/src")
+            && !is_round_substrate(path)
+            && !is_runner_module
+            && code.contains("begin_round")
+        {
+            findings.push(Finding::new(
+                path,
+                lineno,
+                "R14",
+                "`begin_round` outside a runner module: rounds in crates/core must be \
+                 opened from an `Execution::step` implementation (or the round \
+                 substrate) so the driver sees every step boundary for \
+                 checkpoint/resume",
+            ));
         }
 
         // R7 — engine bandwidth must reference named constants.

@@ -189,6 +189,20 @@ fn r13_floats_in_accounting_modules() {
     assert_fires_and_clean("R13", "r13_fires.rs", "r13_clean.rs");
 }
 
+#[test]
+fn r14_rounds_outside_runner_modules() {
+    assert_fires_and_clean("R14", "r14_fires.rs", "r14_clean.rs");
+    // The clean twin opens the same round, but from inside an `impl
+    // Execution for` module — the driver-sanctioned place to do it.
+    let firing = check(&[fixture("r14_fires.rs")]);
+    assert!(
+        firing
+            .iter()
+            .any(|f| f.rule == "R14" && f.message.contains("outside a runner module")),
+        "{firing:?}"
+    );
+}
+
 /// Maps a rule id to its (firing, clean) fixture file names.
 fn fixture_pair(id: &str) -> (String, String) {
     match id {

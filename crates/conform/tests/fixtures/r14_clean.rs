@@ -1,0 +1,39 @@
+// conform-fixture: crates/core/src/fixture_demo.rs
+use cc_mis_sim::congest::CongestEngine;
+use cc_mis_sim::{Execution, SharedObserver, SnapshotError, SnapshotReader, SnapshotWriter, Status};
+
+pub struct DemoExecution<'a> {
+    engine: CongestEngine<'a>,
+    done: bool,
+}
+
+impl Execution for DemoExecution<'_> {
+    type Outcome = ();
+
+    fn algorithm_id(&self) -> &'static str {
+        "demo"
+    }
+
+    fn attach_observer(&mut self, observer: SharedObserver) {
+        self.engine.attach_observer(observer);
+    }
+
+    fn step(&mut self) -> Status<()> {
+        if self.done {
+            return Status::Done(());
+        }
+        let mut round = self.engine.begin_round::<u32>();
+        let _ = round.deliver();
+        self.done = true;
+        Status::Running
+    }
+
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_bool(self.done);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.done = r.read_bool()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,7 @@
+// conform-fixture: crates/core/src/fixture_demo.rs
+use cc_mis_sim::congest::CongestEngine;
+
+pub fn run_rounds_behind_the_drivers_back(engine: &mut CongestEngine<'_>) {
+    let mut round = engine.begin_round::<u32>();
+    let _ = round.deliver();
+}

@@ -20,11 +20,13 @@
 
 use cc_mis_graph::{Graph, NodeId};
 use cc_mis_sim::beeping::BeepingEngine;
+use cc_mis_sim::driver::{drive_observed, Execution, Status};
 use cc_mis_sim::par_nodes::par_map_nodes;
-use cc_mis_sim::rng::{SharedRandomness, Stream};
+use cc_mis_sim::rng::{SharedRandomness, Stream, StreamCursor};
+use cc_mis_sim::snapshot::{graph_fingerprint, SnapshotError, SnapshotReader, SnapshotWriter};
 use cc_mis_sim::{RoundLedger, SharedObserver};
 
-use crate::common::{double_capped, halve, p_of, MisOutcome, INITIAL_PEXP};
+use crate::common::{check_node_vec_len, double_capped, halve, p_of, MisOutcome, INITIAL_PEXP};
 
 /// Heaviness threshold from §2.2: a node is *heavy* in round `t` when
 /// `d_t(v) > 10`.
@@ -116,85 +118,148 @@ pub fn run_beeping_observed(
     seed: u64,
     observer: Option<SharedObserver>,
 ) -> BeepingRun {
-    let n = g.node_count();
-    let rng = SharedRandomness::new(seed);
-    let mut engine = BeepingEngine::new(g);
-    if let Some(observer) = observer {
-        engine.attach_observer(observer);
-    }
-    let mut pexp = vec![INITIAL_PEXP; n];
-    let mut joined_at: Vec<Option<u64>> = vec![None; n];
-    let mut removed_at: Vec<Option<u64>> = vec![None; n];
-    let mut undecided = n;
+    drive_observed(BeepingExecution::new(g, params, seed), observer)
+}
 
-    let mut trace = BeepingTrace::default();
-    if params.record_trace {
-        trace.golden1 = vec![0; n];
-        trace.golden2 = vec![0; n];
-        trace.wrong_moves = vec![0; n];
-        trace.undecided_iterations = vec![0; n];
-    }
-    // Wrong-move clause (2) compares d_{t+1} against d_t; remember the d of
-    // nodes whose clause-(2) precondition held.
-    let mut pending_shrink: Vec<Option<f64>> = vec![None; n];
+/// The §2.2 beeping MIS as a step-driven state machine: one
+/// [`Execution::step`] is one iteration (beep round + MIS-announcement
+/// round), including the Theorem 2.1 trace bookkeeping.
+#[derive(Debug)]
+pub struct BeepingExecution<'a> {
+    g: &'a Graph,
+    params: BeepingParams,
+    seed: u64,
+    engine: BeepingEngine<'a>,
+    /// Beep-coin cursor; its position doubles as the iteration count `t`.
+    cursor: StreamCursor,
+    pexp: Vec<u32>,
+    joined_at: Vec<Option<u64>>,
+    removed_at: Vec<Option<u64>>,
+    undecided: usize,
+    trace: BeepingTrace,
+    /// Wrong-move clause (2) compares d_{t+1} against d_t; remembers the d
+    /// of nodes whose clause-(2) precondition held.
+    pending_shrink: Vec<Option<f64>>,
+}
 
-    let mut t = 0u64;
-    while undecided > 0 && t < params.max_iterations {
-        let alive = |r: &Vec<Option<u64>>, i: usize| r[i].is_none();
+impl<'a> BeepingExecution<'a> {
+    /// Prepares a run on `g`; no rounds execute until the first step.
+    pub fn new(g: &'a Graph, params: &BeepingParams, seed: u64) -> Self {
+        let n = g.node_count();
+        let mut trace = BeepingTrace::default();
+        if params.record_trace {
+            trace.golden1 = vec![0; n];
+            trace.golden2 = vec![0; n];
+            trace.wrong_moves = vec![0; n];
+            trace.undecided_iterations = vec![0; n];
+        }
+        BeepingExecution {
+            g,
+            params: *params,
+            seed,
+            engine: BeepingEngine::new(g),
+            cursor: StreamCursor::new(SharedRandomness::new(seed), Stream::Beep),
+            pexp: vec![INITIAL_PEXP; n],
+            joined_at: vec![None; n],
+            removed_at: vec![None; n],
+            undecided: n,
+            trace,
+            pending_shrink: vec![None; n],
+        }
+    }
+}
+
+impl Execution for BeepingExecution<'_> {
+    type Outcome = BeepingRun;
+
+    fn algorithm_id(&self) -> &'static str {
+        "beeping"
+    }
+
+    fn attach_observer(&mut self, observer: SharedObserver) {
+        self.engine.attach_observer(observer);
+    }
+
+    fn step(&mut self) -> Status<BeepingRun> {
+        let g = self.g;
+        let n = g.node_count();
+        let t = self.cursor.position();
+        if self.undecided == 0 || t >= self.params.max_iterations {
+            let mis: Vec<NodeId> = (0..n)
+                .filter(|&i| self.joined_at[i].is_some())
+                .map(|i| NodeId::new(i as u32))
+                .collect();
+            let residual: Vec<NodeId> = (0..n)
+                .filter(|&i| self.removed_at[i].is_none())
+                .map(|i| NodeId::new(i as u32))
+                .collect();
+            return Status::Done(BeepingRun {
+                mis,
+                residual,
+                joined_at: self.joined_at.clone(),
+                removed_at: self.removed_at.clone(),
+                ledger: self.engine.ledger().clone(),
+                iterations: t,
+                trace: self.trace.clone(),
+            });
+        }
+        let alive = |r: &[Option<u64>], i: usize| r[i].is_none();
 
         // d_t and d'_t over undecided neighbors (analysis bookkeeping and
         // wrong-move detection; the algorithm itself never computes these).
-        let d: Vec<f64> = compute_d(g, &pexp, &removed_at);
-        if params.record_trace || pending_shrink.iter().any(Option::is_some) {
-            for i in 0..n {
-                if !alive(&removed_at, i) {
-                    pending_shrink[i] = None;
+        let d: Vec<f64> = compute_d(g, &self.pexp, &self.removed_at);
+        if self.params.record_trace || self.pending_shrink.iter().any(Option::is_some) {
+            for (i, &di) in d.iter().enumerate() {
+                if !alive(&self.removed_at, i) {
+                    self.pending_shrink[i] = None;
                     continue;
                 }
-                if let Some(d_prev) = pending_shrink[i].take() {
-                    if d[i] > WRONG_MOVE_SHRINK * d_prev && params.record_trace {
-                        trace.wrong_moves[i] += 1;
+                if let Some(d_prev) = self.pending_shrink[i].take() {
+                    if di > WRONG_MOVE_SHRINK * d_prev && self.params.record_trace {
+                        self.trace.wrong_moves[i] += 1;
                     }
                 }
             }
         }
 
         // R1: beeps.
+        let cursor = self.cursor;
+        let removed_at = &self.removed_at;
+        let pexp = &self.pexp;
         let beeps: Vec<bool> = par_map_nodes(n, |i| {
-            alive(&removed_at, i)
-                && rng.coin(Stream::Beep, NodeId::new(i as u32), t) <= p_of(pexp[i])
+            alive(removed_at, i) && cursor.coin(NodeId::new(i as u32)) <= p_of(pexp[i])
         });
-        let heard = engine.round(&beeps);
+        let heard = self.engine.round(&beeps);
 
-        if params.record_trace {
-            record_goldens(g, &pexp, &d, &removed_at, &mut trace);
+        if self.params.record_trace {
+            record_goldens(g, &self.pexp, &d, &self.removed_at, &mut self.trace);
         }
 
         // Joins and p updates.
         let mut joins: Vec<usize> = Vec::new();
         for i in 0..n {
-            if !alive(&removed_at, i) {
+            if !alive(&self.removed_at, i) {
                 continue;
             }
-            if params.record_trace {
-                trace.undecided_iterations[i] += 1;
+            if self.params.record_trace {
+                self.trace.undecided_iterations[i] += 1;
             }
             if beeps[i] && !heard[i] {
                 joins.push(i);
             }
             // Wrong-move clause (1): d small but a neighbor beeped anyway.
-            if d[i] <= GOLDEN1_D_MAX && heard[i] && params.record_trace {
-                trace.wrong_moves[i] += 1;
+            if d[i] <= GOLDEN1_D_MAX && heard[i] && self.params.record_trace {
+                self.trace.wrong_moves[i] += 1;
             }
             // Arm clause (2) for evaluation against d_{t+1}.
-            let dprime = d_prime(g, &pexp, &d, &removed_at, i);
+            let dprime = d_prime(g, &self.pexp, &d, &self.removed_at, i);
             if d[i] > GOLDEN2_D_MIN && dprime < GOLDEN2_D_MIN * d[i] {
-                pending_shrink[i] = Some(d[i]);
+                self.pending_shrink[i] = Some(d[i]);
             }
-            pexp[i] = if heard[i] {
-                halve(pexp[i])
+            self.pexp[i] = if heard[i] {
+                halve(self.pexp[i])
             } else {
-                double_capped(pexp[i])
+                double_capped(self.pexp[i])
             };
         }
 
@@ -203,39 +268,64 @@ pub fn run_beeping_observed(
         for &i in &joins {
             mis_beeps[i] = true;
         }
-        engine.round(&mis_beeps);
+        self.engine.round(&mis_beeps);
         for &i in &joins {
-            joined_at[i] = Some(t);
-            if removed_at[i].is_none() {
-                removed_at[i] = Some(t);
-                undecided -= 1;
+            self.joined_at[i] = Some(t);
+            if self.removed_at[i].is_none() {
+                self.removed_at[i] = Some(t);
+                self.undecided -= 1;
             }
             for &u in g.neighbors(NodeId::new(i as u32)) {
-                if removed_at[u.index()].is_none() {
-                    removed_at[u.index()] = Some(t);
-                    undecided -= 1;
+                if self.removed_at[u.index()].is_none() {
+                    self.removed_at[u.index()] = Some(t);
+                    self.undecided -= 1;
                 }
             }
         }
-        t += 1;
+        self.cursor.advance();
+        Status::Running
     }
 
-    let mis: Vec<NodeId> = (0..n)
-        .filter(|&i| joined_at[i].is_some())
-        .map(|i| NodeId::new(i as u32))
-        .collect();
-    let residual: Vec<NodeId> = (0..n)
-        .filter(|&i| removed_at[i].is_none())
-        .map(|i| NodeId::new(i as u32))
-        .collect();
-    BeepingRun {
-        mis,
-        residual,
-        joined_at,
-        removed_at,
-        ledger: engine.into_ledger(),
-        iterations: t,
-        trace,
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.seed);
+        w.write_u64(self.params.max_iterations);
+        w.write_bool(self.params.record_trace);
+        w.write_ledger(self.engine.ledger());
+        w.write_u64(self.cursor.position());
+        w.write_vec_u32(&self.pexp);
+        w.write_vec_opt_u64(&self.joined_at);
+        w.write_vec_opt_u64(&self.removed_at);
+        w.write_usize(self.undecided);
+        w.write_vec_u64(&self.trace.golden1);
+        w.write_vec_u64(&self.trace.golden2);
+        w.write_vec_u64(&self.trace.wrong_moves);
+        w.write_vec_u64(&self.trace.undecided_iterations);
+        w.write_vec_opt_f64(&self.pending_shrink);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("seed", self.seed)?;
+        r.expect_u64("max_iterations", self.params.max_iterations)?;
+        r.expect_bool("record_trace", self.params.record_trace)?;
+        *self.engine.ledger_mut() = r.read_ledger()?;
+        self.cursor.seek(r.read_u64()?);
+        self.pexp = r.read_vec_u32()?;
+        self.joined_at = r.read_vec_opt_u64()?;
+        self.removed_at = r.read_vec_opt_u64()?;
+        self.undecided = r.read_usize()?;
+        self.trace.golden1 = r.read_vec_u64()?;
+        self.trace.golden2 = r.read_vec_u64()?;
+        self.trace.wrong_moves = r.read_vec_u64()?;
+        self.trace.undecided_iterations = r.read_vec_u64()?;
+        self.pending_shrink = r.read_vec_opt_f64()?;
+        let n = self.g.node_count();
+        check_node_vec_len("pexp vector length", self.pexp.len(), n)?;
+        check_node_vec_len("joined_at vector length", self.joined_at.len(), n)?;
+        check_node_vec_len("removed_at vector length", self.removed_at.len(), n)?;
+        check_node_vec_len("pending_shrink vector length", self.pending_shrink.len(), n)?;
+        Ok(())
     }
 }
 

@@ -42,12 +42,14 @@
 use cc_mis_graph::{Graph, GraphBuilder, NodeId};
 use cc_mis_sim::bits::{node_id_bits, standard_bandwidth, COIN_BITS, PROBABILITY_EXPONENT_BITS};
 use cc_mis_sim::clique::CliqueEngine;
+use cc_mis_sim::driver::{drive_observed, Execution, Status};
 use cc_mis_sim::par_nodes::par_map_nodes;
 use cc_mis_sim::rng::{SharedRandomness, Stream};
+use cc_mis_sim::snapshot::{graph_fingerprint, SnapshotError, SnapshotReader, SnapshotWriter};
 use cc_mis_sim::{RoundLedger, SharedObserver};
 
 use crate::cleanup::leader_cleanup;
-use crate::common::{double_capped, halve, p_of, MisOutcome, INITIAL_PEXP};
+use crate::common::{check_node_vec_len, double_capped, halve, p_of, MisOutcome, INITIAL_PEXP};
 use crate::exponentiation::gather_balls;
 use crate::rounds;
 use crate::sparsified::{sample_set, SparsifiedParams};
@@ -148,43 +150,95 @@ pub fn run_clique_mis_observed(
     seed: u64,
     observer: Option<SharedObserver>,
 ) -> CliqueMisResult {
-    let n = g.node_count();
-    let params = cfg
-        .sparsified
-        .unwrap_or_else(|| SparsifiedParams::for_graph(g));
-    assert!(params.phase_len >= 1, "phase length must be at least 1");
-    assert!(
-        params.phase_len <= 64,
-        "beep vectors are stored in u64 bitmasks; phase length {} > 64",
-        params.phase_len
-    );
-    let rng = SharedRandomness::new(seed);
-    let mut engine = CliqueEngine::strict(n.max(2), standard_bandwidth(n.max(2)));
-    if let Some(observer) = observer {
-        engine.attach_observer(observer);
+    drive_observed(CliqueMisExecution::new(g, cfg, seed), observer)
+}
+
+/// Theorem 1.1 as a step-driven state machine: one [`Execution::step`] is
+/// one simulated phase (the five-round message flow above), followed by a
+/// final clean-up step.
+#[derive(Debug)]
+pub struct CliqueMisExecution<'a> {
+    g: &'a Graph,
+    cfg: CliqueMisParams,
+    /// Resolved sparsified parameters (defaults applied).
+    params: SparsifiedParams,
+    seed: u64,
+    rng: SharedRandomness,
+    engine: CliqueEngine,
+    id_bits: u64,
+    pexp: Vec<u32>,
+    joined_at: Vec<Option<u64>>,
+    removed_at: Vec<Option<u64>>,
+    undecided: usize,
+    phases: Vec<CliquePhaseStats>,
+    t0: u64,
+    cleanup_done: bool,
+    mis: Vec<NodeId>,
+    residual_nodes: usize,
+    residual_edges: usize,
+}
+
+impl<'a> CliqueMisExecution<'a> {
+    /// Prepares a run on `g`; no rounds execute until the first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolved phase length is zero or exceeds 64 (beep
+    /// vectors are stored in `u64` bitmasks).
+    pub fn new(g: &'a Graph, cfg: &CliqueMisParams, seed: u64) -> Self {
+        let n = g.node_count();
+        let params = cfg
+            .sparsified
+            .unwrap_or_else(|| SparsifiedParams::for_graph(g));
+        assert!(params.phase_len >= 1, "phase length must be at least 1");
+        assert!(
+            params.phase_len <= 64,
+            "beep vectors are stored in u64 bitmasks; phase length {} > 64",
+            params.phase_len
+        );
+        CliqueMisExecution {
+            g,
+            cfg: *cfg,
+            params,
+            seed,
+            rng: SharedRandomness::new(seed),
+            engine: CliqueEngine::strict(n.max(2), standard_bandwidth(n.max(2))),
+            id_bits: node_id_bits(n.max(2)).max(1),
+            pexp: vec![INITIAL_PEXP; n],
+            joined_at: vec![None; n],
+            removed_at: vec![None; n],
+            undecided: n,
+            phases: Vec::new(),
+            t0: 0,
+            cleanup_done: false,
+            mis: Vec::new(),
+            residual_nodes: 0,
+            residual_edges: 0,
+        }
     }
-    let id_bits = node_id_bits(n.max(2)).max(1);
 
-    let mut pexp = vec![INITIAL_PEXP; n];
-    let mut joined_at: Vec<Option<u64>> = vec![None; n];
-    let mut removed_at: Vec<Option<u64>> = vec![None; n];
-    let mut undecided = n;
-    let mut phases = Vec::new();
-
-    let mut t0 = 0u64;
-    while t0 < params.max_iterations && undecided > 0 {
+    /// Runs one full phase of the simulation (steps 1–5 of the module doc).
+    fn step_phase(&mut self) {
+        let g = self.g;
+        let n = g.node_count();
+        let t0 = self.t0;
+        let params = self.params;
         let len = (params.max_iterations - t0).min(params.phase_len as u64) as usize;
-        engine.ledger_mut().begin_phase(format!("phase t0={t0}"));
-        let rounds_before = engine.ledger().rounds;
-        let alive0: Vec<bool> = removed_at.iter().map(Option::is_none).collect();
+        self.engine
+            .ledger_mut()
+            .begin_phase(format!("phase t0={t0}"));
+        let rounds_before = self.engine.ledger().rounds;
+        let alive0: Vec<bool> = self.removed_at.iter().map(Option::is_none).collect();
+        let rng = self.rng;
 
         // ===== 1. p-exchange round =====
-        let mut round = engine.begin_round::<u32>();
+        let pexp0 = &self.pexp;
+        let mut round = self.engine.begin_round::<u32>();
         rounds::broadcast_to_alive_neighbors(
             &mut round,
             g,
             &alive0,
-            |v| alive0[v.index()].then(|| (PROBABILITY_EXPONENT_BITS, pexp[v.index()])),
+            |v| alive0[v.index()].then(|| (PROBABILITY_EXPONENT_BITS, pexp0[v.index()])),
             "p exponent fits the bandwidth",
         );
         let inboxes = round.deliver();
@@ -201,7 +255,7 @@ pub fn run_clique_mis_observed(
         // schedule is a pure function of (pexp0, coins).
         let sh_vector = |i: usize| -> u64 {
             let mut vec = 0u64;
-            let mut pe = pexp[i];
+            let mut pe = pexp0[i];
             for k in 0..len {
                 if rng.coin(Stream::Beep, NodeId::new(i as u32), t0 + k as u64) <= p_of(pe) {
                     vec |= 1 << k;
@@ -212,10 +266,10 @@ pub fn run_clique_mis_observed(
         };
 
         // Sampled superset S (each node evaluates its own coins).
-        let in_s = sample_set(g, &rng, &pexp, &alive0, &super_heavy, t0, len);
+        let in_s = sample_set(g, &rng, pexp0, &alive0, &super_heavy, t0, len);
 
         // ===== 2. Commitment round: (super-heavy?, beep vector, in S?) =====
-        let mut round = engine.begin_round::<(bool, u64, bool)>();
+        let mut round = self.engine.begin_round::<(bool, u64, bool)>();
         rounds::broadcast_to_alive_neighbors(
             &mut round,
             g,
@@ -271,20 +325,21 @@ pub fn run_clique_mis_observed(
         // Record size: edge (2 ids) + both endpoints' decorations
         // (p exponent, super-heavy OR schedule, and the phase's coins).
         let decoration_bits = PROBABILITY_EXPONENT_BITS + len as u64 + len as u64 * COIN_BITS;
-        let record_bits = 2 * id_bits + 2 * decoration_bits;
+        let record_bits = 2 * self.id_bits + 2 * decoration_bits;
         // Radius 2·len, not len: a node's aliveness after k iterations
         // depends on joins of neighbors, whose decisions depend on *their*
         // neighbors' beeps — information travels 2 hops per iteration (the
         // paper's Lemma 2.13 absorbs this factor into its constants). With
         // radius 2·len the replay below is exact for the center through the
         // whole phase.
-        let gather = gather_balls(&mut engine, &g_s, &in_s, (2 * len).max(1), record_bits);
+        let gather = gather_balls(&mut self.engine, &g_s, &in_s, (2 * len).max(1), record_bits);
 
         // ===== 4. Local replay per S-node (Lemma 2.13) =====
         // Each replay is a pure function of the gathered ball and the
         // addressable randomness, so the S-nodes replay in parallel;
         // results come back in index order, keeping the phase bit-identical
         // to sequential execution (see `cc_mis_sim::par_nodes`).
+        let pexp0 = &self.pexp;
         let mut announcements: Vec<Option<Announcement>> = vec![None; n];
         let mut replayed_pexp: Vec<Option<u32>> = vec![None; n];
         let mut replayed_removed: Vec<Option<Option<u8>>> = vec![None; n];
@@ -295,7 +350,7 @@ pub fn run_clique_mis_observed(
             Some(replay_ball(
                 s,
                 &gather.balls[s],
-                &pexp,
+                pexp0,
                 &sh_or,
                 &rng,
                 t0,
@@ -313,7 +368,7 @@ pub fn run_clique_mis_observed(
         // ===== 5. Announcement round =====
         let ann_bits =
             len as u64 + (len as u64 + 1).next_power_of_two().trailing_zeros() as u64 + 1;
-        let mut round = engine.begin_round::<Announcement>();
+        let mut round = self.engine.begin_round::<Announcement>();
         rounds::broadcast_to_alive_neighbors(
             &mut round,
             g,
@@ -332,22 +387,22 @@ pub fn run_clique_mis_observed(
             if super_heavy[i] {
                 // Deterministic halving for the whole phase.
                 for _ in 0..len {
-                    pexp[i] = halve(pexp[i]);
+                    self.pexp[i] = halve(self.pexp[i]);
                 }
                 // Removed when the earliest neighbor join happens.
                 if let Some(k) = earliest_neighbor_join(&inboxes[i]) {
-                    removed_at[i] = Some(t0 + k as u64);
-                    undecided -= 1;
+                    self.removed_at[i] = Some(t0 + k as u64);
+                    self.undecided -= 1;
                 }
             } else if in_s[i] {
-                pexp[i] = replayed_pexp[i].expect("replayed");
+                self.pexp[i] = replayed_pexp[i].expect("replayed");
                 let ann = announcements[i].expect("announced");
                 if let Some(k) = ann.joined_k {
-                    joined_at[i] = Some(t0 + k as u64);
+                    self.joined_at[i] = Some(t0 + k as u64);
                 }
                 if let Some(k) = replayed_removed[i].expect("replayed") {
-                    removed_at[i] = Some(t0 + k as u64);
-                    undecided -= 1;
+                    self.removed_at[i] = Some(t0 + k as u64);
+                    self.undecided -= 1;
                 }
             } else {
                 // Watcher: reconstruct hearing from super-heavy schedules
@@ -359,24 +414,24 @@ pub fn run_clique_mis_observed(
                     }
                     let heard = (sh_or[i] >> k) & 1 == 1
                         || inboxes[i].iter().any(|&(_, ann)| (ann.beeps >> k) & 1 == 1);
-                    pexp[i] = if heard {
-                        halve(pexp[i])
+                    self.pexp[i] = if heard {
+                        halve(self.pexp[i])
                     } else {
-                        double_capped(pexp[i])
+                        double_capped(self.pexp[i])
                     };
                     if inboxes[i].iter().any(|&(_, ann)| ann.joined_k == Some(k)) {
                         removed_k = Some(k);
                     }
                 }
                 if let Some(k) = removed_k {
-                    removed_at[i] = Some(t0 + k as u64);
-                    undecided -= 1;
+                    self.removed_at[i] = Some(t0 + k as u64);
+                    self.undecided -= 1;
                 }
             }
         }
 
-        let phase_rounds = engine.ledger().rounds - rounds_before;
-        phases.push(CliquePhaseStats {
+        let phase_rounds = self.engine.ledger().rounds - rounds_before;
+        self.phases.push(CliquePhaseStats {
             start_iteration: t0,
             len,
             alive_at_start: alive0.iter().filter(|&&a| a).count(),
@@ -387,47 +442,163 @@ pub fn run_clique_mis_observed(
             gather_rounds: gather.rounds,
             phase_rounds,
         });
-        t0 += len as u64;
+        self.t0 += len as u64;
     }
 
-    let residual: Vec<NodeId> = (0..n)
-        .filter(|&i| removed_at[i].is_none())
-        .map(|i| NodeId::new(i as u32))
-        .collect();
-    let residual_edges = g
-        .edges()
-        .filter(|&(u, v)| removed_at[u.index()].is_none() && removed_at[v.index()].is_none())
-        .count();
+    /// The final step: record the residual statistics and (unless skipped)
+    /// run the leader clean-up.
+    fn step_cleanup(&mut self) {
+        let g = self.g;
+        let n = g.node_count();
+        let residual: Vec<NodeId> = (0..n)
+            .filter(|&i| self.removed_at[i].is_none())
+            .map(|i| NodeId::new(i as u32))
+            .collect();
+        self.residual_edges = g
+            .edges()
+            .filter(|&(u, v)| {
+                self.removed_at[u.index()].is_none() && self.removed_at[v.index()].is_none()
+            })
+            .count();
+        self.residual_nodes = residual.len();
 
-    let mut mis: Vec<NodeId> = (0..n)
-        .filter(|&i| joined_at[i].is_some())
-        .map(|i| NodeId::new(i as u32))
-        .collect();
-
-    if !cfg.skip_cleanup && n > 0 {
-        engine.ledger_mut().begin_phase("cleanup");
-        let mut alive = vec![false; n];
-        for &v in &residual {
-            alive[v.index()] = true;
+        let mut mis: Vec<NodeId> = (0..n)
+            .filter(|&i| self.joined_at[i].is_some())
+            .map(|i| NodeId::new(i as u32))
+            .collect();
+        if !self.cfg.skip_cleanup && n > 0 {
+            self.engine.ledger_mut().begin_phase("cleanup");
+            let mut alive = vec![false; n];
+            for &v in &residual {
+                alive[v.index()] = true;
+            }
+            let additions = leader_cleanup(&mut self.engine, g, &alive);
+            mis.extend(additions);
+            mis.sort_unstable();
         }
-        let additions = leader_cleanup(&mut engine, g, &alive);
-        mis.extend(additions);
-        mis.sort_unstable();
+        self.mis = mis;
+        self.cleanup_done = true;
+    }
+}
+
+impl Execution for CliqueMisExecution<'_> {
+    type Outcome = CliqueMisResult;
+
+    fn algorithm_id(&self) -> &'static str {
+        "thm11"
     }
 
-    let ledger = engine.into_ledger();
-    CliqueMisResult {
-        mis,
-        rounds: ledger.rounds,
-        ledger,
-        iterations: t0,
-        phases,
-        residual_nodes: residual.len(),
-        residual_edges,
-        joined_at,
-        removed_at,
-        pexp,
+    fn attach_observer(&mut self, observer: SharedObserver) {
+        self.engine.attach_observer(observer);
     }
+
+    fn step(&mut self) -> Status<CliqueMisResult> {
+        if self.t0 < self.params.max_iterations && self.undecided > 0 {
+            self.step_phase();
+            return Status::Running;
+        }
+        if !self.cleanup_done {
+            self.step_cleanup();
+            return Status::Running;
+        }
+        let ledger = self.engine.ledger().clone();
+        Status::Done(CliqueMisResult {
+            mis: self.mis.clone(),
+            rounds: ledger.rounds,
+            ledger,
+            iterations: self.t0,
+            phases: self.phases.clone(),
+            residual_nodes: self.residual_nodes,
+            residual_edges: self.residual_edges,
+            joined_at: self.joined_at.clone(),
+            removed_at: self.removed_at.clone(),
+            pexp: self.pexp.clone(),
+        })
+    }
+
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.seed);
+        w.write_usize(self.params.phase_len);
+        w.write_u32(self.params.super_heavy_log2);
+        w.write_u64(self.params.max_iterations);
+        w.write_bool(self.params.record_trace);
+        w.write_bool(self.cfg.skip_cleanup);
+        w.write_ledger(self.engine.ledger());
+        w.write_u64(self.t0);
+        w.write_vec_u32(&self.pexp);
+        w.write_vec_opt_u64(&self.joined_at);
+        w.write_vec_opt_u64(&self.removed_at);
+        w.write_usize(self.undecided);
+        write_clique_phases(w, &self.phases);
+        w.write_bool(self.cleanup_done);
+        let raws: Vec<u32> = self.mis.iter().map(|v| v.raw()).collect();
+        w.write_vec_u32(&raws);
+        w.write_usize(self.residual_nodes);
+        w.write_usize(self.residual_edges);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("seed", self.seed)?;
+        r.expect_usize("phase_len", self.params.phase_len)?;
+        r.expect_u32("super_heavy_log2", self.params.super_heavy_log2)?;
+        r.expect_u64("max_iterations", self.params.max_iterations)?;
+        r.expect_bool("record_trace", self.params.record_trace)?;
+        r.expect_bool("skip_cleanup", self.cfg.skip_cleanup)?;
+        *self.engine.ledger_mut() = r.read_ledger()?;
+        self.t0 = r.read_u64()?;
+        self.pexp = r.read_vec_u32()?;
+        self.joined_at = r.read_vec_opt_u64()?;
+        self.removed_at = r.read_vec_opt_u64()?;
+        self.undecided = r.read_usize()?;
+        self.phases = read_clique_phases(r)?;
+        self.cleanup_done = r.read_bool()?;
+        self.mis = r.read_vec_u32()?.into_iter().map(NodeId::new).collect();
+        self.residual_nodes = r.read_usize()?;
+        self.residual_edges = r.read_usize()?;
+        let n = self.g.node_count();
+        check_node_vec_len("pexp vector length", self.pexp.len(), n)?;
+        check_node_vec_len("joined_at vector length", self.joined_at.len(), n)?;
+        check_node_vec_len("removed_at vector length", self.removed_at.len(), n)?;
+        Ok(())
+    }
+}
+
+/// Serializes the per-phase simulation statistics.
+fn write_clique_phases(w: &mut SnapshotWriter, phases: &[CliquePhaseStats]) {
+    w.write_usize(phases.len());
+    for p in phases {
+        w.write_u64(p.start_iteration);
+        w.write_usize(p.len);
+        w.write_usize(p.alive_at_start);
+        w.write_usize(p.super_heavy);
+        w.write_usize(p.sampled);
+        w.write_usize(p.max_s_degree);
+        w.write_usize(p.max_ball_edges);
+        w.write_u64(p.gather_rounds);
+        w.write_u64(p.phase_rounds);
+    }
+}
+
+/// Mirror of [`write_clique_phases`].
+fn read_clique_phases(r: &mut SnapshotReader<'_>) -> Result<Vec<CliquePhaseStats>, SnapshotError> {
+    let count = r.read_usize()?;
+    let mut phases = Vec::new();
+    for _ in 0..count {
+        phases.push(CliquePhaseStats {
+            start_iteration: r.read_u64()?,
+            len: r.read_usize()?,
+            alive_at_start: r.read_usize()?,
+            super_heavy: r.read_usize()?,
+            sampled: r.read_usize()?,
+            max_s_degree: r.read_usize()?,
+            max_ball_edges: r.read_usize()?,
+            gather_rounds: r.read_u64()?,
+            phase_rounds: r.read_u64()?,
+        });
+    }
+    Ok(phases)
 }
 
 /// Convenience wrapper returning a plain [`MisOutcome`].

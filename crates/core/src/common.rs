@@ -8,8 +8,9 @@
 //! probability message exactly [`cc_mis_sim::bits::PROBABILITY_EXPONENT_BITS`]
 //! bits.
 
-use cc_mis_graph::NodeId;
+use cc_mis_graph::{Graph, NodeId};
 use cc_mis_sim::bits::MAX_PROBABILITY_EXPONENT;
+use cc_mis_sim::snapshot::SnapshotError;
 use cc_mis_sim::RoundLedger;
 
 /// The probability exponent at the start of every algorithm (`p = 1/2`).
@@ -69,6 +70,32 @@ impl MisOutcome {
     pub fn rounds(&self) -> u64 {
         self.ledger.rounds
     }
+}
+
+/// Collects the nodes whose membership flag is set, in ascending id order —
+/// the canonical way executions turn a per-node `in_mis` vector into the
+/// sorted [`MisOutcome::mis`] list.
+pub(crate) fn mis_from_flags(g: &Graph, in_mis: &[bool]) -> Vec<NodeId> {
+    g.nodes().filter(|v| in_mis[v.index()]).collect()
+}
+
+/// Rejects a restored per-node vector whose length does not match this
+/// graph's node count. The graph fingerprint check catches every realistic
+/// mismatch first; this guards the snapshot payload itself so corruption
+/// surfaces as a named error instead of an index panic mid-run.
+pub(crate) fn check_node_vec_len(
+    field: &'static str,
+    got: usize,
+    n: usize,
+) -> Result<(), SnapshotError> {
+    if got != n {
+        return Err(SnapshotError::Mismatch {
+            field,
+            expected: n.to_string(),
+            found: got.to_string(),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -33,13 +33,16 @@ use cc_mis_graph::{Graph, NodeId};
 use cc_mis_sim::bits::{standard_bandwidth, PROBABILITY_EXPONENT_BITS};
 use cc_mis_sim::clique::CliqueEngine;
 use cc_mis_sim::congest::CongestEngine;
+use cc_mis_sim::driver::{drive_observed, Execution, Status};
 use cc_mis_sim::par_nodes::par_map_nodes;
-use cc_mis_sim::rng::{SharedRandomness, Stream};
+use cc_mis_sim::rng::{SharedRandomness, Stream, StreamCursor};
+use cc_mis_sim::snapshot::{graph_fingerprint, SnapshotError, SnapshotReader, SnapshotWriter};
 use cc_mis_sim::SharedObserver;
 
 use crate::cleanup;
 use crate::common::{
-    double_capped, halve, iterations_for_max_degree, p_of, MisOutcome, INITIAL_PEXP,
+    check_node_vec_len, double_capped, halve, iterations_for_max_degree, mis_from_flags, p_of,
+    MisOutcome, INITIAL_PEXP,
 };
 use crate::rounds;
 
@@ -220,34 +223,82 @@ pub fn run_ghaffari16_observed(
     seed: u64,
     observer: Option<SharedObserver>,
 ) -> MisOutcome {
-    let n = g.node_count();
-    let rng = SharedRandomness::new(seed);
-    let mut engine = CongestEngine::strict(g, standard_bandwidth(n));
-    if let Some(observer) = observer {
-        engine.attach_observer(observer);
-    }
-    let mut pexp = vec![INITIAL_PEXP; n];
-    let mut alive = vec![true; n];
-    let mut in_mis = vec![false; n];
-    let mut undecided = n;
-    let mut t = 0u64;
+    drive_observed(Ghaffari16Execution::new(g, params, seed), observer)
+}
 
-    while undecided > 0 {
+/// The CONGEST Ghaffari'16 run as a step-driven state machine: one
+/// [`Execution::step`] is one iteration ((p, mark) exchange + join round).
+#[derive(Debug)]
+pub struct Ghaffari16Execution<'a> {
+    g: &'a Graph,
+    params: Ghaffari16Params,
+    seed: u64,
+    engine: CongestEngine<'a>,
+    /// Mark-coin cursor; its position doubles as the iteration count `t`.
+    cursor: StreamCursor,
+    pexp: Vec<u32>,
+    alive: Vec<bool>,
+    in_mis: Vec<bool>,
+    undecided: usize,
+}
+
+impl<'a> Ghaffari16Execution<'a> {
+    /// Prepares a run on `g`; no rounds execute until the first step.
+    pub fn new(g: &'a Graph, params: &Ghaffari16Params, seed: u64) -> Self {
+        let n = g.node_count();
+        Ghaffari16Execution {
+            g,
+            params: *params,
+            seed,
+            engine: CongestEngine::strict(g, standard_bandwidth(n)),
+            cursor: StreamCursor::new(SharedRandomness::new(seed), Stream::Beep),
+            pexp: vec![INITIAL_PEXP; n],
+            alive: vec![true; n],
+            in_mis: vec![false; n],
+            undecided: n,
+        }
+    }
+}
+
+impl Execution for Ghaffari16Execution<'_> {
+    type Outcome = MisOutcome;
+
+    fn algorithm_id(&self) -> &'static str {
+        "ghaffari16"
+    }
+
+    fn attach_observer(&mut self, observer: SharedObserver) {
+        self.engine.attach_observer(observer);
+    }
+
+    fn step(&mut self) -> Status<MisOutcome> {
+        if self.undecided == 0 {
+            return Status::Done(MisOutcome {
+                mis: mis_from_flags(self.g, &self.in_mis),
+                ledger: self.engine.ledger().clone(),
+                iterations: self.cursor.position(),
+            });
+        }
         assert!(
-            t < params.max_iterations,
+            self.cursor.position() < self.params.max_iterations,
             "Ghaffari'16 failed to terminate within {} iterations",
-            params.max_iterations
+            self.params.max_iterations
         );
+        let g = self.g;
+        let n = g.node_count();
+        let cursor = self.cursor;
+        let alive = &self.alive;
+        let pexp = &self.pexp;
         let marked: Vec<bool> = par_map_nodes(n, |i| {
-            alive[i] && rng.coin(Stream::Beep, NodeId::new(i as u32), t) <= p_of(pexp[i])
+            alive[i] && cursor.coin(NodeId::new(i as u32)) <= p_of(pexp[i])
         });
 
         // Round 1: exchange (p-exponent, mark bit) with undecided neighbors.
-        let mut round = engine.begin_round::<(u32, bool)>();
+        let mut round = self.engine.begin_round::<(u32, bool)>();
         rounds::broadcast_to_alive_neighbors(
             &mut round,
             g,
-            &alive,
+            alive,
             |v| {
                 let i = v.index();
                 alive[i].then(|| (PROBABILITY_EXPONENT_BITS + 1, (pexp[i], marked[i])))
@@ -282,41 +333,67 @@ pub fn run_ghaffari16_observed(
                 if join {
                     joins.push(i);
                 }
-                pexp[i] = next;
+                self.pexp[i] = next;
             }
         }
 
         // Round 2: joiners announce; joiners and neighbors leave. (`joins`
         // is ascending by construction, so membership is binary-searchable.)
-        let mut round = engine.begin_round::<()>();
+        let alive = &self.alive;
+        let mut round = self.engine.begin_round::<()>();
         rounds::broadcast_to_alive_neighbors(
             &mut round,
             g,
-            &alive,
+            alive,
             |v| joins.binary_search(&v.index()).ok().map(|_| (1, ())),
             "join bit fits",
         );
         let inboxes = round.deliver();
         for &i in &joins {
-            in_mis[i] = true;
-            alive[i] = false;
-            undecided -= 1;
+            self.in_mis[i] = true;
+            self.alive[i] = false;
+            self.undecided -= 1;
         }
         for v in g.nodes() {
             let i = v.index();
-            if alive[i] && !inboxes[i].is_empty() {
-                alive[i] = false;
-                undecided -= 1;
+            if self.alive[i] && !inboxes[i].is_empty() {
+                self.alive[i] = false;
+                self.undecided -= 1;
             }
         }
-        t += 1;
+        self.cursor.advance();
+        Status::Running
     }
 
-    let mis: Vec<NodeId> = g.nodes().filter(|v| in_mis[v.index()]).collect();
-    MisOutcome {
-        mis,
-        ledger: engine.into_ledger(),
-        iterations: t,
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.seed);
+        w.write_u64(self.params.max_iterations);
+        w.write_f64(self.params.clique_factor);
+        w.write_ledger(self.engine.ledger());
+        w.write_u64(self.cursor.position());
+        w.write_vec_u32(&self.pexp);
+        w.write_vec_bool(&self.alive);
+        w.write_vec_bool(&self.in_mis);
+        w.write_usize(self.undecided);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("seed", self.seed)?;
+        r.expect_u64("max_iterations", self.params.max_iterations)?;
+        r.expect_f64("clique_factor", self.params.clique_factor)?;
+        *self.engine.ledger_mut() = r.read_ledger()?;
+        self.cursor.seek(r.read_u64()?);
+        self.pexp = r.read_vec_u32()?;
+        self.alive = r.read_vec_bool()?;
+        self.in_mis = r.read_vec_bool()?;
+        self.undecided = r.read_usize()?;
+        let n = self.g.node_count();
+        check_node_vec_len("pexp vector length", self.pexp.len(), n)?;
+        check_node_vec_len("alive vector length", self.alive.len(), n)?;
+        check_node_vec_len("in_mis vector length", self.in_mis.len(), n)?;
+        Ok(())
     }
 }
 
@@ -337,53 +414,133 @@ pub fn run_ghaffari16_clique_observed(
     seed: u64,
     observer: Option<SharedObserver>,
 ) -> MisOutcome {
-    let n = g.node_count();
-    let rng = SharedRandomness::new(seed);
-    let budget = iterations_for_max_degree(g.max_degree(), params.clique_factor);
-    let evo = evolve(g, &g.nodes().collect::<Vec<_>>(), rng, budget);
+    drive_observed(Ghaffari16CliqueExecution::new(g, params, seed), observer)
+}
 
-    let mut engine = CliqueEngine::strict(n.max(2), standard_bandwidth(n.max(2)));
-    if let Some(observer) = observer {
-        engine.attach_observer(observer);
+/// The congested-clique Ghaffari'16 baseline as a step-driven state
+/// machine. The evolution is a pure function of `(g, seed, budget)` and is
+/// recomputed at construction (snapshots never store it); one
+/// [`Execution::step`] bills one replayed iteration (2 clique rounds plus
+/// the per-edge exchange of that iteration), and a final step runs the
+/// leader clean-up.
+#[derive(Debug)]
+pub struct Ghaffari16CliqueExecution<'a> {
+    g: &'a Graph,
+    params: Ghaffari16Params,
+    seed: u64,
+    engine: CliqueEngine,
+    evo: Evolution,
+    executed: u64,
+    /// Next iteration to bill; `executed` means the clean-up step is next.
+    next_t: u64,
+    cleanup_done: bool,
+    mis: Vec<NodeId>,
+}
+
+impl<'a> Ghaffari16CliqueExecution<'a> {
+    /// Prepares a run on `g`: replays the evolution analytically and opens
+    /// the iterations phase. No rounds are billed until the first step.
+    pub fn new(g: &'a Graph, params: &Ghaffari16Params, seed: u64) -> Self {
+        let n = g.node_count();
+        let rng = SharedRandomness::new(seed);
+        let budget = iterations_for_max_degree(g.max_degree(), params.clique_factor);
+        let evo = evolve(g, &g.nodes().collect::<Vec<_>>(), rng, budget);
+        let executed = executed_iterations(&evo, budget);
+        let mut engine = CliqueEngine::strict(n.max(2), standard_bandwidth(n.max(2)));
+        engine.ledger_mut().begin_phase("ghaffari16 iterations");
+        Ghaffari16CliqueExecution {
+            g,
+            params: *params,
+            seed,
+            engine,
+            evo,
+            executed,
+            next_t: 0,
+            cleanup_done: false,
+            mis: Vec::new(),
+        }
     }
-    engine.ledger_mut().begin_phase("ghaffari16 iterations");
-    // Each iteration costs 2 clique rounds and one (p, mark) exchange over
-    // each directed alive edge plus join bits; charge what the CONGEST
-    // execution sends.
-    let executed = executed_iterations(&evo, budget);
-    // conform: allow(R10) -- analytic replay accounting: bills the CONGEST execution's rounds after the fact, no live transport
-    engine.ledger_mut().charge_rounds(2 * executed);
-    {
-        let alive_at = |i: usize, t: u64| match evo.removed_at[i] {
-            None => true,
-            Some(r) => r >= t,
-        };
-        let ledger = engine.ledger_mut();
-        for t in 0..executed {
+}
+
+impl Execution for Ghaffari16CliqueExecution<'_> {
+    type Outcome = MisOutcome;
+
+    fn algorithm_id(&self) -> &'static str {
+        "g16-clique"
+    }
+
+    fn attach_observer(&mut self, observer: SharedObserver) {
+        self.engine.attach_observer(observer);
+    }
+
+    fn step(&mut self) -> Status<MisOutcome> {
+        if self.next_t < self.executed {
+            // Bill one replayed iteration: 2 clique rounds and one (p, mark)
+            // exchange over each directed alive edge — what the CONGEST
+            // execution sends at iteration `t`.
+            let t = self.next_t;
+            let alive_at = |i: usize, t: u64| match self.evo.removed_at[i] {
+                None => true,
+                Some(r) => r >= t,
+            };
             let mut directed: u64 = 0;
-            for (u, v) in g.edges() {
+            for (u, v) in self.g.edges() {
                 if alive_at(u.index(), t) && alive_at(v.index(), t) {
                     directed += 2;
                 }
             }
+            let ledger = self.engine.ledger_mut();
+            // conform: allow(R10) -- analytic replay accounting: bills the CONGEST execution's rounds after the fact, no live transport
+            ledger.charge_rounds(2);
             // conform: allow(R10) -- analytic replay accounting: per-iteration edge exchange billed from the replayed evolution
             ledger.charge_aggregate(directed, directed * (PROBABILITY_EXPONENT_BITS + 1));
+            self.next_t += 1;
+            return Status::Running;
         }
+        if !self.cleanup_done {
+            let n = self.g.node_count();
+            let mut alive = vec![false; n];
+            for &v in &self.evo.residual() {
+                alive[v.index()] = true;
+            }
+            self.engine.ledger_mut().begin_phase("cleanup");
+            let extra = cleanup::leader_cleanup(&mut self.engine, self.g, &alive);
+            let mut mis = self.evo.mis();
+            mis.extend(extra);
+            mis.sort_unstable();
+            self.mis = mis;
+            self.cleanup_done = true;
+            return Status::Running;
+        }
+        Status::Done(MisOutcome {
+            mis: self.mis.clone(),
+            ledger: self.engine.ledger().clone(),
+            iterations: self.executed,
+        })
     }
 
-    let mut alive = vec![false; n];
-    for &v in &evo.residual() {
-        alive[v.index()] = true;
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.seed);
+        w.write_u64(self.params.max_iterations);
+        w.write_f64(self.params.clique_factor);
+        w.write_ledger(self.engine.ledger());
+        w.write_u64(self.next_t);
+        w.write_bool(self.cleanup_done);
+        let raw: Vec<u32> = self.mis.iter().map(|v| v.raw()).collect();
+        w.write_vec_u32(&raw);
     }
-    engine.ledger_mut().begin_phase("cleanup");
-    let extra = cleanup::leader_cleanup(&mut engine, g, &alive);
-    let mut mis = evo.mis();
-    mis.extend(extra);
-    mis.sort_unstable();
-    MisOutcome {
-        mis,
-        ledger: engine.into_ledger(),
-        iterations: executed,
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("seed", self.seed)?;
+        r.expect_u64("max_iterations", self.params.max_iterations)?;
+        r.expect_f64("clique_factor", self.params.clique_factor)?;
+        *self.engine.ledger_mut() = r.read_ledger()?;
+        self.next_t = r.read_u64()?;
+        self.cleanup_done = r.read_bool()?;
+        self.mis = r.read_vec_u32()?.into_iter().map(NodeId::new).collect();
+        Ok(())
     }
 }
 

@@ -14,13 +14,15 @@
 use cc_mis_graph::{Graph, GraphBuilder, NodeId};
 use cc_mis_sim::bits::{node_id_bits, standard_bandwidth, COIN_BITS};
 use cc_mis_sim::clique::CliqueEngine;
+use cc_mis_sim::driver::{drive_observed, Execution, Status};
 use cc_mis_sim::rng::SharedRandomness;
+use cc_mis_sim::snapshot::{graph_fingerprint, SnapshotError, SnapshotReader, SnapshotWriter};
 use cc_mis_sim::SharedObserver;
 
 use crate::cleanup::leader_cleanup;
-use crate::clique_mis::{run_clique_mis_observed, CliqueMisParams};
-use crate::common::{iterations_for_max_degree, MisOutcome};
-use crate::exponentiation::gather_balls;
+use crate::clique_mis::{CliqueMisExecution, CliqueMisParams};
+use crate::common::{check_node_vec_len, iterations_for_max_degree, MisOutcome};
+use crate::exponentiation::{gather_balls, GatherResult};
 use crate::ghaffari16::evolve;
 
 /// Parameters for [`run_lowdeg`].
@@ -94,90 +96,244 @@ pub fn run_lowdeg_observed(
     seed: u64,
     observer: Option<SharedObserver>,
 ) -> LowDegResult {
-    let n = g.node_count();
-    let rng = SharedRandomness::new(seed);
-    let mut engine = CliqueEngine::strict(n.max(2), standard_bandwidth(n.max(2)));
-    if let Some(observer) = observer {
-        engine.attach_observer(observer);
-    }
-    let radius = iterations_for_max_degree(g.max_degree(), params.iteration_factor) as usize;
+    drive_observed(LowDegExecution::new(g, params, seed), observer)
+}
 
-    // Gather O(log Δ)-hop balls of G itself. Records carry the edge plus
-    // both endpoints' coins for the replayed window.
-    engine.ledger_mut().begin_phase("gather");
-    let id_bits = node_id_bits(n.max(2)).max(1);
-    let record_bits = 2 * id_bits + 2 * radius as u64 * COIN_BITS;
-    let participant = vec![true; n];
-    // Radius 2·radius: removal information travels 2 hops per iteration
-    // (a neighbor's join depends on *its* neighbors' marks) — see the
-    // matching comment in `clique_mis`.
-    let gather = gather_balls(
-        &mut engine,
-        g,
-        &participant,
-        (2 * radius).max(1),
-        record_bits,
-    );
+/// Which coarse stage a [`LowDegExecution`] performs next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LowDegStage {
+    /// Gather `O(log Δ)`-hop balls by exponentiation.
+    Gather,
+    /// Replay the Ghaffari'16 dynamic on every ball.
+    Replay,
+    /// Leader clean-up of the residual.
+    Cleanup,
+    /// Nothing left; the next step reports the outcome.
+    Finished,
+}
 
-    // Local replay: every node simulates the dynamic on its ball and reads
-    // off its own fate. Accurate for `radius` iterations because the ball
-    // covers the radius (Lemma 2.13-style induction, via
-    // `ghaffari16::evolve` on the ball subgraph with global coin ids).
-    engine.ledger_mut().begin_phase("replay");
-    let mut in_mis = vec![false; n];
-    let mut alive = vec![true; n];
-    for v in 0..n {
-        let ball = &gather.balls[v];
-        let mut nodes: Vec<u32> = ball
-            .edges()
-            .flat_map(|(a, b)| [a, b])
-            .chain(std::iter::once(v as u32))
-            .collect();
-        nodes.sort_unstable();
-        nodes.dedup();
-        let local_of = |id: u32| nodes.binary_search(&id).expect("ball node");
-        let mut builder = GraphBuilder::new(nodes.len());
-        for (a, b) in ball.edges() {
-            builder
-                .add_edge(
-                    NodeId::new(local_of(a) as u32),
-                    NodeId::new(local_of(b) as u32),
-                )
-                .expect("ball edge is valid");
-        }
-        let ball_graph = builder.build();
-        let coin_ids: Vec<NodeId> = nodes.iter().map(|&id| NodeId::new(id)).collect();
-        let evo = evolve(&ball_graph, &coin_ids, rng, radius as u64);
-        let me = local_of(v as u32);
-        if evo.joined_at[me].is_some() {
-            in_mis[v] = true;
-            alive[v] = false;
-        } else if evo.removed_at[me].is_some() {
-            alive[v] = false;
+impl LowDegStage {
+    fn to_u32(self) -> u32 {
+        match self {
+            LowDegStage::Gather => 0,
+            LowDegStage::Replay => 1,
+            LowDegStage::Cleanup => 2,
+            LowDegStage::Finished => 3,
         }
     }
 
-    // Clean-up at the leader.
-    engine.ledger_mut().begin_phase("cleanup");
-    let additions = leader_cleanup(&mut engine, g, &alive);
-    let residual_nodes = alive.iter().filter(|&&a| a).count();
-    let mut mis: Vec<NodeId> = (0..n)
-        .filter(|&i| in_mis[i])
-        .map(|i| NodeId::new(i as u32))
-        .collect();
-    mis.extend(additions);
-    mis.sort_unstable();
+    fn from_u32(raw: u32) -> Result<Self, SnapshotError> {
+        match raw {
+            0 => Ok(LowDegStage::Gather),
+            1 => Ok(LowDegStage::Replay),
+            2 => Ok(LowDegStage::Cleanup),
+            3 => Ok(LowDegStage::Finished),
+            other => Err(SnapshotError::Mismatch {
+                field: "lowdeg stage",
+                expected: "0..=3".to_string(),
+                found: other.to_string(),
+            }),
+        }
+    }
+}
 
-    let ledger = engine.into_ledger();
-    LowDegResult {
-        mis,
-        rounds: ledger.rounds,
-        ledger,
-        iterations: radius as u64,
-        gather_rounds: gather.rounds,
-        gather_steps: gather.steps,
-        max_ball_edges: gather.max_ball_edges,
-        residual_nodes,
+/// Lemma 2.15 as a step-driven state machine with coarse steps:
+/// gather → replay → clean-up → done.
+///
+/// The gathered balls are a pure function of the graph (the gather uses no
+/// randomness), so snapshots store only the per-node fates and the ledger;
+/// [`Execution::restore`] regenerates the balls against a scratch engine
+/// and then overwrites the ledger with the saved one.
+#[derive(Debug)]
+pub struct LowDegExecution<'a> {
+    g: &'a Graph,
+    params: LowDegParams,
+    seed: u64,
+    rng: SharedRandomness,
+    engine: CliqueEngine,
+    radius: usize,
+    stage: LowDegStage,
+    gather: Option<GatherResult>,
+    in_mis: Vec<bool>,
+    alive: Vec<bool>,
+    mis: Vec<NodeId>,
+    residual_nodes: usize,
+}
+
+impl<'a> LowDegExecution<'a> {
+    /// Prepares a run on `g`; no rounds execute until the first step.
+    pub fn new(g: &'a Graph, params: &LowDegParams, seed: u64) -> Self {
+        let n = g.node_count();
+        LowDegExecution {
+            g,
+            params: *params,
+            seed,
+            rng: SharedRandomness::new(seed),
+            engine: CliqueEngine::strict(n.max(2), standard_bandwidth(n.max(2))),
+            radius: iterations_for_max_degree(g.max_degree(), params.iteration_factor) as usize,
+            stage: LowDegStage::Gather,
+            gather: None,
+            in_mis: vec![false; n],
+            alive: vec![true; n],
+            mis: Vec::new(),
+            residual_nodes: 0,
+        }
+    }
+
+    /// Runs the exponentiation gather on `engine`, charging it for the
+    /// routing. Factored out so [`Execution::restore`] can regenerate the
+    /// balls against a scratch engine.
+    fn run_gather(g: &Graph, engine: &mut CliqueEngine, radius: usize) -> GatherResult {
+        let n = g.node_count();
+        // Records carry the edge plus both endpoints' coins for the
+        // replayed window.
+        let id_bits = node_id_bits(n.max(2)).max(1);
+        let record_bits = 2 * id_bits + 2 * radius as u64 * COIN_BITS;
+        let participant = vec![true; n];
+        // Radius 2·radius: removal information travels 2 hops per iteration
+        // (a neighbor's join depends on *its* neighbors' marks) — see the
+        // matching comment in `clique_mis`.
+        gather_balls(engine, g, &participant, (2 * radius).max(1), record_bits)
+    }
+}
+
+impl Execution for LowDegExecution<'_> {
+    type Outcome = LowDegResult;
+
+    fn algorithm_id(&self) -> &'static str {
+        "lowdeg"
+    }
+
+    fn attach_observer(&mut self, observer: SharedObserver) {
+        self.engine.attach_observer(observer);
+    }
+
+    fn step(&mut self) -> Status<LowDegResult> {
+        let g = self.g;
+        let n = g.node_count();
+        match self.stage {
+            LowDegStage::Gather => {
+                // Gather O(log Δ)-hop balls of G itself.
+                self.engine.ledger_mut().begin_phase("gather");
+                self.gather = Some(Self::run_gather(g, &mut self.engine, self.radius));
+                self.stage = LowDegStage::Replay;
+                Status::Running
+            }
+            LowDegStage::Replay => {
+                // Local replay: every node simulates the dynamic on its
+                // ball and reads off its own fate. Accurate for `radius`
+                // iterations because the ball covers the radius
+                // (Lemma 2.13-style induction, via `ghaffari16::evolve` on
+                // the ball subgraph with global coin ids).
+                self.engine.ledger_mut().begin_phase("replay");
+                let gather = self
+                    .gather
+                    .as_ref()
+                    .expect("gather stage precedes the replay stage");
+                let radius = self.radius;
+                let rng = self.rng;
+                for v in 0..n {
+                    let ball = &gather.balls[v];
+                    let mut nodes: Vec<u32> = ball
+                        .edges()
+                        .flat_map(|(a, b)| [a, b])
+                        .chain(std::iter::once(v as u32))
+                        .collect();
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    let local_of = |id: u32| nodes.binary_search(&id).expect("ball node");
+                    let mut builder = GraphBuilder::new(nodes.len());
+                    for (a, b) in ball.edges() {
+                        builder
+                            .add_edge(
+                                NodeId::new(local_of(a) as u32),
+                                NodeId::new(local_of(b) as u32),
+                            )
+                            .expect("ball edge is valid");
+                    }
+                    let ball_graph = builder.build();
+                    let coin_ids: Vec<NodeId> = nodes.iter().map(|&id| NodeId::new(id)).collect();
+                    let evo = evolve(&ball_graph, &coin_ids, rng, radius as u64);
+                    let me = local_of(v as u32);
+                    if evo.joined_at[me].is_some() {
+                        self.in_mis[v] = true;
+                        self.alive[v] = false;
+                    } else if evo.removed_at[me].is_some() {
+                        self.alive[v] = false;
+                    }
+                }
+                self.stage = LowDegStage::Cleanup;
+                Status::Running
+            }
+            LowDegStage::Cleanup => {
+                // Clean-up at the leader.
+                self.engine.ledger_mut().begin_phase("cleanup");
+                let additions = leader_cleanup(&mut self.engine, g, &self.alive);
+                self.residual_nodes = self.alive.iter().filter(|&&a| a).count();
+                let mut mis: Vec<NodeId> = (0..n)
+                    .filter(|&i| self.in_mis[i])
+                    .map(|i| NodeId::new(i as u32))
+                    .collect();
+                mis.extend(additions);
+                mis.sort_unstable();
+                self.mis = mis;
+                self.stage = LowDegStage::Finished;
+                Status::Running
+            }
+            LowDegStage::Finished => {
+                let gather = self
+                    .gather
+                    .as_ref()
+                    .expect("gather stage precedes completion");
+                let ledger = self.engine.ledger().clone();
+                Status::Done(LowDegResult {
+                    mis: self.mis.clone(),
+                    rounds: ledger.rounds,
+                    ledger,
+                    iterations: self.radius as u64,
+                    gather_rounds: gather.rounds,
+                    gather_steps: gather.steps,
+                    max_ball_edges: gather.max_ball_edges,
+                    residual_nodes: self.residual_nodes,
+                })
+            }
+        }
+    }
+
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.seed);
+        w.write_f64(self.params.iteration_factor);
+        w.write_ledger(self.engine.ledger());
+        w.write_u32(self.stage.to_u32());
+        w.write_vec_bool(&self.in_mis);
+        w.write_vec_bool(&self.alive);
+        let raws: Vec<u32> = self.mis.iter().map(|v| v.raw()).collect();
+        w.write_vec_u32(&raws);
+        w.write_usize(self.residual_nodes);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("seed", self.seed)?;
+        r.expect_f64("iteration_factor", self.params.iteration_factor)?;
+        let ledger = r.read_ledger()?;
+        self.stage = LowDegStage::from_u32(r.read_u32()?)?;
+        self.in_mis = r.read_vec_bool()?;
+        self.alive = r.read_vec_bool()?;
+        self.mis = r.read_vec_u32()?.into_iter().map(NodeId::new).collect();
+        self.residual_nodes = r.read_usize()?;
+        let n = self.g.node_count();
+        check_node_vec_len("in_mis vector length", self.in_mis.len(), n)?;
+        check_node_vec_len("alive vector length", self.alive.len(), n)?;
+        // The balls are deterministic in the graph; regenerate them on a
+        // scratch engine so its charges don't disturb the restored ledger.
+        if self.stage != LowDegStage::Gather {
+            let mut scratch = CliqueEngine::strict(n.max(2), standard_bandwidth(n.max(2)));
+            self.gather = Some(Self::run_gather(self.g, &mut scratch, self.radius));
+        }
+        *self.engine.ledger_mut() = ledger;
+        Ok(())
     }
 }
 
@@ -215,29 +371,115 @@ pub fn run_theorem_1_1_observed(
     seed: u64,
     observer: Option<SharedObserver>,
 ) -> (MisOutcome, Strategy) {
-    let n = g.node_count().max(2) as f64;
-    let delta = g.max_degree() as f64;
-    let threshold = (n.log2().sqrt()).exp2();
-    if delta + 1.0 <= threshold {
-        let res = run_lowdeg_observed(g, &LowDegParams::default(), seed, observer);
-        (
-            MisOutcome {
-                mis: res.mis,
-                ledger: res.ledger,
-                iterations: res.iterations,
+    drive_observed(AutoExecution::new(g, seed), observer)
+}
+
+/// The Theorem 1.1 dispatcher as a step-driven state machine: the case
+/// split is decided deterministically at construction, and every call
+/// delegates to the chosen branch's execution.
+#[derive(Debug)]
+pub struct AutoExecution<'a> {
+    inner: AutoInner<'a>,
+}
+
+#[derive(Debug)]
+enum AutoInner<'a> {
+    LowDegree(LowDegExecution<'a>),
+    Sparsified(CliqueMisExecution<'a>),
+}
+
+impl<'a> AutoExecution<'a> {
+    /// Picks the branch for `g` (the paper's `Δ + 1 ≤ 2^{√(log₂ n)}` test)
+    /// and prepares it; no rounds execute until the first step.
+    pub fn new(g: &'a Graph, seed: u64) -> Self {
+        let n = g.node_count().max(2) as f64;
+        let delta = g.max_degree() as f64;
+        let threshold = (n.log2().sqrt()).exp2();
+        let inner = if delta + 1.0 <= threshold {
+            AutoInner::LowDegree(LowDegExecution::new(g, &LowDegParams::default(), seed))
+        } else {
+            AutoInner::Sparsified(CliqueMisExecution::new(
+                g,
+                &CliqueMisParams::default(),
+                seed,
+            ))
+        };
+        AutoExecution { inner }
+    }
+
+    /// The branch this execution runs.
+    pub fn strategy(&self) -> Strategy {
+        match &self.inner {
+            AutoInner::LowDegree(_) => Strategy::LowDegree,
+            AutoInner::Sparsified(_) => Strategy::Sparsified,
+        }
+    }
+}
+
+impl Execution for AutoExecution<'_> {
+    type Outcome = (MisOutcome, Strategy);
+
+    fn algorithm_id(&self) -> &'static str {
+        "auto"
+    }
+
+    fn attach_observer(&mut self, observer: SharedObserver) {
+        match &mut self.inner {
+            AutoInner::LowDegree(e) => e.attach_observer(observer),
+            AutoInner::Sparsified(e) => e.attach_observer(observer),
+        }
+    }
+
+    fn step(&mut self) -> Status<(MisOutcome, Strategy)> {
+        match &mut self.inner {
+            AutoInner::LowDegree(e) => match e.step() {
+                Status::Running => Status::Running,
+                Status::Done(res) => Status::Done((
+                    MisOutcome {
+                        mis: res.mis,
+                        ledger: res.ledger,
+                        iterations: res.iterations,
+                    },
+                    Strategy::LowDegree,
+                )),
             },
-            Strategy::LowDegree,
-        )
-    } else {
-        let res = run_clique_mis_observed(g, &CliqueMisParams::default(), seed, observer);
-        (
-            MisOutcome {
-                mis: res.mis,
-                ledger: res.ledger,
-                iterations: res.iterations,
+            AutoInner::Sparsified(e) => match e.step() {
+                Status::Running => Status::Running,
+                Status::Done(res) => Status::Done((
+                    MisOutcome {
+                        mis: res.mis,
+                        ledger: res.ledger,
+                        iterations: res.iterations,
+                    },
+                    Strategy::Sparsified,
+                )),
             },
-            Strategy::Sparsified,
-        )
+        }
+    }
+
+    fn save(&self, w: &mut SnapshotWriter) {
+        match &self.inner {
+            AutoInner::LowDegree(e) => {
+                w.write_u32(0);
+                e.save(w);
+            }
+            AutoInner::Sparsified(e) => {
+                w.write_u32(1);
+                e.save(w);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let expected = match &self.inner {
+            AutoInner::LowDegree(_) => 0,
+            AutoInner::Sparsified(_) => 1,
+        };
+        r.expect_u32("dispatcher branch", expected)?;
+        match &mut self.inner {
+            AutoInner::LowDegree(e) => e.restore(r),
+            AutoInner::Sparsified(e) => e.restore(r),
+        }
     }
 }
 

@@ -13,10 +13,12 @@
 use cc_mis_graph::{Graph, NodeId};
 use cc_mis_sim::bits::standard_bandwidth;
 use cc_mis_sim::congest::CongestEngine;
-use cc_mis_sim::rng::{SharedRandomness, Stream};
+use cc_mis_sim::driver::{drive_observed, Execution, Status};
+use cc_mis_sim::rng::{SharedRandomness, Stream, StreamCursor};
+use cc_mis_sim::snapshot::{graph_fingerprint, SnapshotError, SnapshotReader, SnapshotWriter};
 use cc_mis_sim::SharedObserver;
 
-use crate::common::MisOutcome;
+use crate::common::{check_node_vec_len, mis_from_flags, MisOutcome};
 use crate::rounds;
 
 /// Parameters for [`run_luby`].
@@ -75,36 +77,83 @@ pub fn run_luby_observed(
     seed: u64,
     observer: Option<SharedObserver>,
 ) -> MisOutcome {
-    let n = g.node_count();
-    let rng = SharedRandomness::new(seed);
-    let mut engine = CongestEngine::strict(g, standard_bandwidth(n));
-    if let Some(observer) = observer {
-        engine.attach_observer(observer);
-    }
-    let mut alive = vec![true; n];
-    let mut in_mis = vec![false; n];
-    let mut undecided = n;
-    let mut iterations = 0u64;
+    drive_observed(LubyExecution::new(g, params, seed), observer)
+}
 
-    while undecided > 0 {
+/// Luby's algorithm as a step-driven state machine: one [`Execution::step`]
+/// is one iteration (priority round + join round).
+#[derive(Debug)]
+pub struct LubyExecution<'a> {
+    g: &'a Graph,
+    params: LubyParams,
+    seed: u64,
+    engine: CongestEngine<'a>,
+    /// Priority stream cursor; its position doubles as the iteration count.
+    cursor: StreamCursor,
+    alive: Vec<bool>,
+    in_mis: Vec<bool>,
+    undecided: usize,
+}
+
+impl<'a> LubyExecution<'a> {
+    /// Prepares a run on `g`; no rounds execute until the first step.
+    pub fn new(g: &'a Graph, params: &LubyParams, seed: u64) -> Self {
+        let n = g.node_count();
+        LubyExecution {
+            g,
+            params: *params,
+            seed,
+            engine: CongestEngine::strict(g, standard_bandwidth(n)),
+            cursor: StreamCursor::new(SharedRandomness::new(seed), Stream::Priority),
+            alive: vec![true; n],
+            in_mis: vec![false; n],
+            undecided: n,
+        }
+    }
+}
+
+impl Execution for LubyExecution<'_> {
+    type Outcome = MisOutcome;
+
+    fn algorithm_id(&self) -> &'static str {
+        "luby"
+    }
+
+    fn attach_observer(&mut self, observer: SharedObserver) {
+        self.engine.attach_observer(observer);
+    }
+
+    fn step(&mut self) -> Status<MisOutcome> {
+        if self.undecided == 0 {
+            return Status::Done(MisOutcome {
+                mis: mis_from_flags(self.g, &self.in_mis),
+                ledger: self.engine.ledger().clone(),
+                iterations: self.cursor.position(),
+            });
+        }
         assert!(
-            iterations < params.max_iterations,
+            self.cursor.position() < self.params.max_iterations,
             "Luby failed to terminate within {} iterations",
-            params.max_iterations
+            self.params.max_iterations
         );
+        let g = self.g;
+        let n = g.node_count();
+
         // Round 1: undecided nodes exchange priorities with undecided
         // neighbors.
-        let mut round = engine.begin_round::<u64>();
         let priorities: Vec<u64> = (0..n)
-            .map(|v| rng.bits(Stream::Priority, NodeId::new(v as u32), iterations))
+            .map(|v| self.cursor.bits(NodeId::new(v as u32)))
             .collect();
+        let alive = &self.alive;
+        let priority_bits = self.params.priority_bits;
+        let mut round = self.engine.begin_round::<u64>();
         rounds::broadcast_to_alive_neighbors(
             &mut round,
             g,
-            &alive,
+            alive,
             |v| {
                 let i = v.index();
-                alive[i].then(|| (params.priority_bits, priorities[i]))
+                alive[i].then(|| (priority_bits, priorities[i]))
             },
             "priority message fits the bandwidth",
         );
@@ -126,36 +175,58 @@ pub fn run_luby_observed(
         }
 
         // Round 2: joiners announce; joiners and their neighbors leave.
-        let mut round = engine.begin_round::<()>();
+        let mut round = self.engine.begin_round::<()>();
         rounds::broadcast_to_alive_neighbors(
             &mut round,
             g,
-            &alive,
+            alive,
             |v| joined[v.index()].then_some((1, ())),
             "join bit fits",
         );
         let inboxes = round.deliver();
         for v in g.nodes() {
-            if !alive[v.index()] {
+            if !self.alive[v.index()] {
                 continue;
             }
             if joined[v.index()] {
-                in_mis[v.index()] = true;
-                alive[v.index()] = false;
-                undecided -= 1;
+                self.in_mis[v.index()] = true;
+                self.alive[v.index()] = false;
+                self.undecided -= 1;
             } else if !inboxes[v.index()].is_empty() {
-                alive[v.index()] = false;
-                undecided -= 1;
+                self.alive[v.index()] = false;
+                self.undecided -= 1;
             }
         }
-        iterations += 1;
+        self.cursor.advance();
+        Status::Running
     }
 
-    let mis: Vec<NodeId> = g.nodes().filter(|v| in_mis[v.index()]).collect();
-    MisOutcome {
-        mis,
-        ledger: engine.into_ledger(),
-        iterations,
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.seed);
+        w.write_u64(self.params.max_iterations);
+        w.write_u64(self.params.priority_bits);
+        w.write_ledger(self.engine.ledger());
+        w.write_u64(self.cursor.position());
+        w.write_vec_bool(&self.alive);
+        w.write_vec_bool(&self.in_mis);
+        w.write_usize(self.undecided);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("seed", self.seed)?;
+        r.expect_u64("max_iterations", self.params.max_iterations)?;
+        r.expect_u64("priority_bits", self.params.priority_bits)?;
+        *self.engine.ledger_mut() = r.read_ledger()?;
+        self.cursor.seek(r.read_u64()?);
+        self.alive = r.read_vec_bool()?;
+        self.in_mis = r.read_vec_bool()?;
+        self.undecided = r.read_usize()?;
+        let n = self.g.node_count();
+        check_node_vec_len("alive vector length", self.alive.len(), n)?;
+        check_node_vec_len("in_mis vector length", self.in_mis.len(), n)?;
+        Ok(())
     }
 }
 

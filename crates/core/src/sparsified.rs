@@ -34,13 +34,19 @@
 //! (default `max(2, ⌈√(log₂ n)/2⌉)`). Experiment A1 sweeps `P`.
 
 use cc_mis_graph::{Graph, NodeId};
+use cc_mis_sim::beeping::BeepingEngine;
+use cc_mis_sim::bits::{standard_bandwidth, PROBABILITY_EXPONENT_BITS};
+use cc_mis_sim::congest::CongestEngine;
+use cc_mis_sim::driver::{drive, drive_observed, Execution, Status};
 use cc_mis_sim::par_nodes::par_map_nodes;
 use cc_mis_sim::rng::{SharedRandomness, Stream};
-use cc_mis_sim::RoundLedger;
+use cc_mis_sim::snapshot::{graph_fingerprint, SnapshotError, SnapshotReader, SnapshotWriter};
+use cc_mis_sim::{RoundLedger, SharedObserver};
 
 use crate::beeping_mis::{GOLDEN1_D_MAX, GOLDEN2_D_MIN, HEAVY_THRESHOLD};
 use crate::common::{
-    double_capped, halve, iterations_for_max_degree, p_of, MisOutcome, INITIAL_PEXP,
+    check_node_vec_len, double_capped, halve, iterations_for_max_degree, p_of, MisOutcome,
+    INITIAL_PEXP,
 };
 use crate::greedy::greedy_mis_on_residual;
 
@@ -162,33 +168,126 @@ pub struct SparsifiedTrace {
 /// assert!(run.residual_edge_count <= 2 * g.node_count());
 /// ```
 pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> SparsifiedRun {
-    assert!(params.phase_len >= 1, "phase length must be at least 1");
-    let n = g.node_count();
-    let rng = SharedRandomness::new(seed);
-    let mut pexp = vec![INITIAL_PEXP; n];
-    let mut joined_at: Vec<Option<u64>> = vec![None; n];
-    let mut removed_at: Vec<Option<u64>> = vec![None; n];
-    let mut undecided = n;
-    let mut ledger = RoundLedger::new();
-    let mut phases = Vec::new();
-    let mut trace = SparsifiedTrace::default();
-    if params.record_trace {
-        trace.golden1 = vec![0; n];
-        trace.golden2 = vec![0; n];
-        trace.undecided_iterations = vec![0; n];
-        trace.super_heavy_iterations = vec![0; n];
+    drive(SparsifiedExecution::new(g, params, seed))
+}
+
+/// The sparsified algorithm as a step-driven state machine over the
+/// **global** (analytically-charged) execution: one [`Execution::step`] is
+/// one full phase of `P` iterations, including the phase-start exchange.
+///
+/// This execution has no engines; the ledger is charged analytically with
+/// the same totals a message-level run produces (validated by the
+/// `messaged_execution_matches_global_computation` test). Observers are
+/// therefore handled by [`SparsifiedMessagedExecution`] instead —
+/// [`run_sparsified_with_cleanup_observed`] dispatches on the observer.
+#[derive(Debug)]
+pub struct SparsifiedExecution<'a> {
+    g: &'a Graph,
+    params: SparsifiedParams,
+    seed: u64,
+    rng: SharedRandomness,
+    ledger: RoundLedger,
+    pexp: Vec<u32>,
+    joined_at: Vec<Option<u64>>,
+    removed_at: Vec<Option<u64>>,
+    undecided: usize,
+    phases: Vec<PhaseInfo>,
+    trace: SparsifiedTrace,
+    t0: u64,
+}
+
+impl<'a> SparsifiedExecution<'a> {
+    /// Prepares a run on `g`; no phases execute until the first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.phase_len` is zero.
+    pub fn new(g: &'a Graph, params: &SparsifiedParams, seed: u64) -> Self {
+        assert!(params.phase_len >= 1, "phase length must be at least 1");
+        let n = g.node_count();
+        let mut trace = SparsifiedTrace::default();
+        if params.record_trace {
+            trace.golden1 = vec![0; n];
+            trace.golden2 = vec![0; n];
+            trace.undecided_iterations = vec![0; n];
+            trace.super_heavy_iterations = vec![0; n];
+        }
+        SparsifiedExecution {
+            g,
+            params: *params,
+            seed,
+            rng: SharedRandomness::new(seed),
+            ledger: RoundLedger::new(),
+            pexp: vec![INITIAL_PEXP; n],
+            joined_at: vec![None; n],
+            removed_at: vec![None; n],
+            undecided: n,
+            phases: Vec::new(),
+            trace,
+            t0: 0,
+        }
     }
 
-    let mut t0 = 0u64;
-    while t0 < params.max_iterations && undecided > 0 {
-        let len = (params.max_iterations - t0).min(params.phase_len as u64) as usize;
+    fn finish(&self) -> SparsifiedRun {
+        let g = self.g;
+        let n = g.node_count();
+        let mis: Vec<NodeId> = (0..n)
+            .filter(|&i| self.joined_at[i].is_some())
+            .map(|i| NodeId::new(i as u32))
+            .collect();
+        let residual: Vec<NodeId> = (0..n)
+            .filter(|&i| self.removed_at[i].is_none())
+            .map(|i| NodeId::new(i as u32))
+            .collect();
+        let residual_edge_count = g
+            .edges()
+            .filter(|&(u, v)| {
+                self.removed_at[u.index()].is_none() && self.removed_at[v.index()].is_none()
+            })
+            .count();
+        SparsifiedRun {
+            mis,
+            residual,
+            joined_at: self.joined_at.clone(),
+            removed_at: self.removed_at.clone(),
+            pexp: self.pexp.clone(),
+            iterations: self.t0,
+            ledger: self.ledger.clone(),
+            phases: self.phases.clone(),
+            residual_edge_count,
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+impl Execution for SparsifiedExecution<'_> {
+    type Outcome = SparsifiedRun;
+
+    fn algorithm_id(&self) -> &'static str {
+        "sparsified"
+    }
+
+    fn attach_observer(&mut self, _observer: SharedObserver) {
+        // The global execution runs no engine rounds; per-round tracing goes
+        // through the messaged execution (see the dispatch in
+        // `run_sparsified_with_cleanup_observed`).
+    }
+
+    fn step(&mut self) -> Status<SparsifiedRun> {
+        let g = self.g;
+        let n = g.node_count();
+        if self.t0 >= self.params.max_iterations || self.undecided == 0 {
+            return Status::Done(self.finish());
+        }
+        let t0 = self.t0;
+        let len = (self.params.max_iterations - t0).min(self.params.phase_len as u64) as usize;
 
         // Phase-start exchange round: every undecided node learns its
         // undecided neighbors' p. One round, PROBABILITY_EXPONENT_BITS per
         // directed alive edge.
         // conform: allow(R10) -- analytic replay accounting per Lemma 2.12: charges computed from the direct execution, no live transport
-        ledger.charge_round();
-        let alive0: Vec<bool> = removed_at.iter().map(Option::is_none).collect();
+        self.ledger.charge_round();
+        let alive0: Vec<bool> = self.removed_at.iter().map(Option::is_none).collect();
         {
             let alive_directed_edges: u64 = (0..n)
                 .filter(|&i| alive0[i])
@@ -200,20 +299,20 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
                 })
                 .sum();
             // conform: allow(R10) -- analytic replay accounting per Lemma 2.12: charges computed from the direct execution, no live transport
-            ledger.charge_aggregate(
+            self.ledger.charge_aggregate(
                 alive_directed_edges,
-                alive_directed_edges * cc_mis_sim::bits::PROBABILITY_EXPONENT_BITS,
+                alive_directed_edges * PROBABILITY_EXPONENT_BITS,
             );
         }
-        let d0 = weighted_alive_degree(g, &pexp, &alive0);
-        let threshold = params.super_heavy_threshold();
+        let d0 = weighted_alive_degree(g, &self.pexp, &alive0);
+        let threshold = self.params.super_heavy_threshold();
         let super_heavy: Vec<bool> = (0..n).map(|i| alive0[i] && d0[i] >= threshold).collect();
 
         // The sampled superset S (the clique algorithm materializes it; the
         // direct run computes it for the phase record and Lemma 2.12 stats).
-        let sampled = sample_set(g, &rng, &pexp, &alive0, &super_heavy, t0, len);
+        let sampled = sample_set(g, &self.rng, &self.pexp, &alive0, &super_heavy, t0, len);
         let max_s_degree = max_degree_within(g, &sampled);
-        phases.push(PhaseInfo {
+        self.phases.push(PhaseInfo {
             start_iteration: t0,
             len,
             alive_at_start: alive0.iter().filter(|&&a| a).count(),
@@ -227,10 +326,15 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
             // Beeps: super-heavy nodes follow their committed schedule for
             // the whole phase (even if removed mid-phase); others beep only
             // while undecided.
+            let rng = self.rng;
+            let removed_at = &self.removed_at;
+            let pexp = &self.pexp;
+            let sh = &super_heavy;
+            let a0 = &alive0;
             let beeps: Vec<bool> = par_map_nodes(n, |i| {
-                let schedule_active = super_heavy[i] || removed_at[i].is_none();
+                let schedule_active = sh[i] || removed_at[i].is_none();
                 schedule_active
-                    && alive0[i]
+                    && a0[i]
                     && rng.coin(Stream::Beep, NodeId::new(i as u32), t) <= p_of(pexp[i])
             });
             let heard: Vec<bool> = par_map_nodes(n, |i| {
@@ -239,24 +343,33 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
                     .any(|u| beeps[u.index()])
             });
 
-            if params.record_trace {
-                record_trace(g, &pexp, &removed_at, &super_heavy, &heard, &mut trace);
+            if self.params.record_trace {
+                record_trace(
+                    g,
+                    &self.pexp,
+                    &self.removed_at,
+                    &super_heavy,
+                    &heard,
+                    &mut self.trace,
+                );
             }
 
             // Joins: not super-heavy, beeping, hearing silence.
             let joins: Vec<usize> = (0..n)
-                .filter(|&i| removed_at[i].is_none() && !super_heavy[i] && beeps[i] && !heard[i])
+                .filter(|&i| {
+                    self.removed_at[i].is_none() && !super_heavy[i] && beeps[i] && !heard[i]
+                })
                 .collect();
 
             // Probability updates for nodes still on their schedule.
             for i in 0..n {
                 if super_heavy[i] {
-                    pexp[i] = halve(pexp[i]);
-                } else if removed_at[i].is_none() {
-                    pexp[i] = if heard[i] {
-                        halve(pexp[i])
+                    self.pexp[i] = halve(self.pexp[i]);
+                } else if self.removed_at[i].is_none() {
+                    self.pexp[i] = if heard[i] {
+                        halve(self.pexp[i])
                     } else {
-                        double_capped(pexp[i])
+                        double_capped(self.pexp[i])
                     };
                 }
             }
@@ -267,58 +380,109 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
             for (i, _) in beeps.iter().enumerate().filter(|(_, &b)| b) {
                 let deg = g.degree(NodeId::new(i as u32)) as u64;
                 // conform: allow(R10) -- analytic replay of beep costs (Lemma 2.13), no live transport behind this charge
-                ledger.charge_aggregate(deg, deg);
+                self.ledger.charge_aggregate(deg, deg);
             }
             for &i in &joins {
                 let deg = g.degree(NodeId::new(i as u32)) as u64;
                 // conform: allow(R10) -- analytic replay of join-beep costs (Lemma 2.13), no live transport behind this charge
-                ledger.charge_aggregate(deg, deg);
+                self.ledger.charge_aggregate(deg, deg);
             }
 
             // Removals (R2).
             for &i in &joins {
-                joined_at[i] = Some(t);
-                if removed_at[i].is_none() {
-                    removed_at[i] = Some(t);
-                    undecided -= 1;
+                self.joined_at[i] = Some(t);
+                if self.removed_at[i].is_none() {
+                    self.removed_at[i] = Some(t);
+                    self.undecided -= 1;
                 }
                 for &u in g.neighbors(NodeId::new(i as u32)) {
-                    if removed_at[u.index()].is_none() {
-                        removed_at[u.index()] = Some(t);
-                        undecided -= 1;
+                    if self.removed_at[u.index()].is_none() {
+                        self.removed_at[u.index()] = Some(t);
+                        self.undecided -= 1;
                     }
                 }
             }
             // conform: allow(R10) -- analytic replay accounting: two beeping rounds per iteration (Lemma 2.13)
-            ledger.charge_rounds(2);
+            self.ledger.charge_rounds(2);
         }
-        t0 += len as u64;
+        self.t0 += len as u64;
+        Status::Running
     }
 
-    let mis: Vec<NodeId> = (0..n)
-        .filter(|&i| joined_at[i].is_some())
-        .map(|i| NodeId::new(i as u32))
-        .collect();
-    let residual: Vec<NodeId> = (0..n)
-        .filter(|&i| removed_at[i].is_none())
-        .map(|i| NodeId::new(i as u32))
-        .collect();
-    let residual_edge_count = g
-        .edges()
-        .filter(|&(u, v)| removed_at[u.index()].is_none() && removed_at[v.index()].is_none())
-        .count();
-    SparsifiedRun {
-        mis,
-        residual,
-        joined_at,
-        removed_at,
-        pexp,
-        iterations: t0,
-        ledger,
-        phases,
-        residual_edge_count,
-        trace,
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.seed);
+        w.write_usize(self.params.phase_len);
+        w.write_u32(self.params.super_heavy_log2);
+        w.write_u64(self.params.max_iterations);
+        w.write_bool(self.params.record_trace);
+        w.write_ledger(&self.ledger);
+        w.write_u64(self.t0);
+        w.write_vec_u32(&self.pexp);
+        w.write_vec_opt_u64(&self.joined_at);
+        w.write_vec_opt_u64(&self.removed_at);
+        w.write_usize(self.undecided);
+        write_phases(w, &self.phases);
+        w.write_vec_u64(&self.trace.golden1);
+        w.write_vec_u64(&self.trace.golden2);
+        w.write_vec_u64(&self.trace.undecided_iterations);
+        w.write_vec_u64(&self.trace.super_heavy_iterations);
     }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("seed", self.seed)?;
+        r.expect_usize("phase_len", self.params.phase_len)?;
+        r.expect_u32("super_heavy_log2", self.params.super_heavy_log2)?;
+        r.expect_u64("max_iterations", self.params.max_iterations)?;
+        r.expect_bool("record_trace", self.params.record_trace)?;
+        self.ledger = r.read_ledger()?;
+        self.t0 = r.read_u64()?;
+        self.pexp = r.read_vec_u32()?;
+        self.joined_at = r.read_vec_opt_u64()?;
+        self.removed_at = r.read_vec_opt_u64()?;
+        self.undecided = r.read_usize()?;
+        self.phases = read_phases(r)?;
+        self.trace.golden1 = r.read_vec_u64()?;
+        self.trace.golden2 = r.read_vec_u64()?;
+        self.trace.undecided_iterations = r.read_vec_u64()?;
+        self.trace.super_heavy_iterations = r.read_vec_u64()?;
+        let n = self.g.node_count();
+        check_node_vec_len("pexp vector length", self.pexp.len(), n)?;
+        check_node_vec_len("joined_at vector length", self.joined_at.len(), n)?;
+        check_node_vec_len("removed_at vector length", self.removed_at.len(), n)?;
+        Ok(())
+    }
+}
+
+/// Serializes the per-phase statistics (count, then each record's fields).
+fn write_phases(w: &mut SnapshotWriter, phases: &[PhaseInfo]) {
+    w.write_usize(phases.len());
+    for p in phases {
+        w.write_u64(p.start_iteration);
+        w.write_usize(p.len);
+        w.write_usize(p.alive_at_start);
+        w.write_usize(p.super_heavy);
+        w.write_usize(p.sampled);
+        w.write_usize(p.max_s_degree);
+    }
+}
+
+/// Mirror of [`write_phases`].
+fn read_phases(r: &mut SnapshotReader<'_>) -> Result<Vec<PhaseInfo>, SnapshotError> {
+    let count = r.read_usize()?;
+    let mut phases = Vec::new();
+    for _ in 0..count {
+        phases.push(PhaseInfo {
+            start_iteration: r.read_u64()?,
+            len: r.read_usize()?,
+            alive_at_start: r.read_usize()?,
+            super_heavy: r.read_usize()?,
+            sampled: r.read_usize()?,
+            max_s_degree: r.read_usize()?,
+        });
+    }
+    Ok(phases)
 }
 
 /// Runs the sparsified algorithm and finishes the residual graph with a
@@ -344,6 +508,13 @@ pub fn run_sparsified_with_cleanup_observed(
         None => run_sparsified(g, params, seed),
         Some(obs) => run_sparsified_messaged_observed(g, params, seed, Some(obs)),
     };
+    finish_with_cleanup(g, run)
+}
+
+/// Finishes a completed sparsified run with the centralized greedy pass
+/// over the residual (no ledger charges — the reference counterpart of the
+/// clique algorithm's leader clean-up).
+pub fn finish_with_cleanup(g: &Graph, run: SparsifiedRun) -> MisOutcome {
     let mut alive = vec![false; g.node_count()];
     for &v in &run.residual {
         alive[v.index()] = true;
@@ -387,50 +558,127 @@ pub fn run_sparsified_messaged_observed(
     g: &Graph,
     params: &SparsifiedParams,
     seed: u64,
-    observer: Option<cc_mis_sim::SharedObserver>,
+    observer: Option<SharedObserver>,
 ) -> SparsifiedRun {
-    use cc_mis_sim::beeping::BeepingEngine;
-    use cc_mis_sim::bits::{standard_bandwidth, PROBABILITY_EXPONENT_BITS};
-    use cc_mis_sim::congest::CongestEngine;
+    drive_observed(SparsifiedMessagedExecution::new(g, params, seed), observer)
+}
 
-    assert!(params.phase_len >= 1, "phase length must be at least 1");
-    let n = g.node_count();
-    let rng = SharedRandomness::new(seed);
-    let mut congest = CongestEngine::strict(g, standard_bandwidth(n.max(2)));
-    let mut beeping = BeepingEngine::new(g);
-    if let Some(observer) = observer {
-        congest.attach_observer(observer.clone());
-        beeping.attach_observer(observer);
+/// The sparsified algorithm as a step-driven state machine over **real
+/// engines**: one [`Execution::step`] is one full phase (a CONGEST
+/// `p`-exchange round plus `2 · P` beeping rounds).
+///
+/// This is the validation counterpart of [`SparsifiedExecution`]; one
+/// attached observer watches both engines, in execution order.
+#[derive(Debug)]
+pub struct SparsifiedMessagedExecution<'a> {
+    g: &'a Graph,
+    params: SparsifiedParams,
+    seed: u64,
+    rng: SharedRandomness,
+    congest: CongestEngine<'a>,
+    beeping: BeepingEngine<'a>,
+    pexp: Vec<u32>,
+    joined_at: Vec<Option<u64>>,
+    removed_at: Vec<Option<u64>>,
+    undecided: usize,
+    phases: Vec<PhaseInfo>,
+    t0: u64,
+}
+
+impl<'a> SparsifiedMessagedExecution<'a> {
+    /// Prepares a run on `g`; no rounds execute until the first step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.phase_len` is zero.
+    pub fn new(g: &'a Graph, params: &SparsifiedParams, seed: u64) -> Self {
+        assert!(params.phase_len >= 1, "phase length must be at least 1");
+        let n = g.node_count();
+        SparsifiedMessagedExecution {
+            g,
+            params: *params,
+            seed,
+            rng: SharedRandomness::new(seed),
+            congest: CongestEngine::strict(g, standard_bandwidth(n.max(2))),
+            beeping: BeepingEngine::new(g),
+            pexp: vec![INITIAL_PEXP; n],
+            joined_at: vec![None; n],
+            removed_at: vec![None; n],
+            undecided: n,
+            phases: Vec::new(),
+            t0: 0,
+        }
     }
-    let mut pexp = vec![INITIAL_PEXP; n];
-    let mut joined_at: Vec<Option<u64>> = vec![None; n];
-    let mut removed_at: Vec<Option<u64>> = vec![None; n];
-    let mut undecided = n;
-    let mut phases = Vec::new();
+}
 
-    let mut t0 = 0u64;
-    while t0 < params.max_iterations && undecided > 0 {
-        let len = (params.max_iterations - t0).min(params.phase_len as u64) as usize;
-        let alive0: Vec<bool> = removed_at.iter().map(Option::is_none).collect();
+impl Execution for SparsifiedMessagedExecution<'_> {
+    type Outcome = SparsifiedRun;
+
+    fn algorithm_id(&self) -> &'static str {
+        "sparsified-messaged"
+    }
+
+    fn attach_observer(&mut self, observer: SharedObserver) {
+        self.congest.attach_observer(observer.clone());
+        self.beeping.attach_observer(observer);
+    }
+
+    fn step(&mut self) -> Status<SparsifiedRun> {
+        let g = self.g;
+        let n = g.node_count();
+        if self.t0 >= self.params.max_iterations || self.undecided == 0 {
+            let mis: Vec<NodeId> = (0..n)
+                .filter(|&i| self.joined_at[i].is_some())
+                .map(|i| NodeId::new(i as u32))
+                .collect();
+            let residual: Vec<NodeId> = (0..n)
+                .filter(|&i| self.removed_at[i].is_none())
+                .map(|i| NodeId::new(i as u32))
+                .collect();
+            let residual_edge_count = g
+                .edges()
+                .filter(|&(u, v)| {
+                    self.removed_at[u.index()].is_none() && self.removed_at[v.index()].is_none()
+                })
+                .count();
+            let mut ledger = self.congest.ledger().clone();
+            ledger.merge(self.beeping.ledger());
+            return Status::Done(SparsifiedRun {
+                mis,
+                residual,
+                joined_at: self.joined_at.clone(),
+                removed_at: self.removed_at.clone(),
+                pexp: self.pexp.clone(),
+                iterations: self.t0,
+                ledger,
+                phases: self.phases.clone(),
+                residual_edge_count,
+                trace: SparsifiedTrace::default(),
+            });
+        }
+        let t0 = self.t0;
+        let len = (self.params.max_iterations - t0).min(self.params.phase_len as u64) as usize;
+        let alive0: Vec<bool> = self.removed_at.iter().map(Option::is_none).collect();
 
         // Phase-start exchange over the real CONGEST engine.
-        let mut round = congest.begin_round::<u32>();
+        let pexp_now = &self.pexp;
+        let mut round = self.congest.begin_round::<u32>();
         crate::rounds::broadcast_to_alive_neighbors(
             &mut round,
             g,
             &alive0,
-            |v| alive0[v.index()].then(|| (PROBABILITY_EXPONENT_BITS, pexp[v.index()])),
+            |v| alive0[v.index()].then(|| (PROBABILITY_EXPONENT_BITS, pexp_now[v.index()])),
             "p exponent fits",
         );
         let inboxes = round.deliver();
-        let threshold = params.super_heavy_threshold();
+        let threshold = self.params.super_heavy_threshold();
         let super_heavy: Vec<bool> = (0..n)
             .map(|i| {
                 alive0[i] && inboxes[i].iter().map(|&(_, pe)| p_of(pe)).sum::<f64>() >= threshold
             })
             .collect();
-        let sampled = sample_set(g, &rng, &pexp, &alive0, &super_heavy, t0, len);
-        phases.push(PhaseInfo {
+        let sampled = sample_set(g, &self.rng, &self.pexp, &alive0, &super_heavy, t0, len);
+        self.phases.push(PhaseInfo {
             start_iteration: t0,
             len,
             alive_at_start: alive0.iter().filter(|&&a| a).count(),
@@ -441,25 +689,32 @@ pub fn run_sparsified_messaged_observed(
 
         for k in 0..len {
             let t = t0 + k as u64;
+            let rng = self.rng;
+            let removed_at = &self.removed_at;
+            let pexp = &self.pexp;
+            let sh = &super_heavy;
+            let a0 = &alive0;
             let beeps: Vec<bool> = par_map_nodes(n, |i| {
-                let schedule_active = super_heavy[i] || removed_at[i].is_none();
+                let schedule_active = sh[i] || removed_at[i].is_none();
                 schedule_active
-                    && alive0[i]
+                    && a0[i]
                     && rng.coin(Stream::Beep, NodeId::new(i as u32), t) <= p_of(pexp[i])
             });
             // R1 over the real beeping engine.
-            let heard = beeping.round(&beeps);
+            let heard = self.beeping.round(&beeps);
             let joins: Vec<usize> = (0..n)
-                .filter(|&i| removed_at[i].is_none() && !super_heavy[i] && beeps[i] && !heard[i])
+                .filter(|&i| {
+                    self.removed_at[i].is_none() && !super_heavy[i] && beeps[i] && !heard[i]
+                })
                 .collect();
             for i in 0..n {
                 if super_heavy[i] {
-                    pexp[i] = halve(pexp[i]);
-                } else if removed_at[i].is_none() {
-                    pexp[i] = if heard[i] {
-                        halve(pexp[i])
+                    self.pexp[i] = halve(self.pexp[i]);
+                } else if self.removed_at[i].is_none() {
+                    self.pexp[i] = if heard[i] {
+                        halve(self.pexp[i])
                     } else {
-                        double_capped(pexp[i])
+                        double_capped(self.pexp[i])
                     };
                 }
             }
@@ -468,49 +723,62 @@ pub fn run_sparsified_messaged_observed(
             for &i in &joins {
                 mis_beeps[i] = true;
             }
-            beeping.round(&mis_beeps);
+            self.beeping.round(&mis_beeps);
             for &i in &joins {
-                joined_at[i] = Some(t);
-                if removed_at[i].is_none() {
-                    removed_at[i] = Some(t);
-                    undecided -= 1;
+                self.joined_at[i] = Some(t);
+                if self.removed_at[i].is_none() {
+                    self.removed_at[i] = Some(t);
+                    self.undecided -= 1;
                 }
                 for &u in g.neighbors(NodeId::new(i as u32)) {
-                    if removed_at[u.index()].is_none() {
-                        removed_at[u.index()] = Some(t);
-                        undecided -= 1;
+                    if self.removed_at[u.index()].is_none() {
+                        self.removed_at[u.index()] = Some(t);
+                        self.undecided -= 1;
                     }
                 }
             }
         }
-        t0 += len as u64;
+        self.t0 += len as u64;
+        Status::Running
     }
 
-    let mis: Vec<NodeId> = (0..n)
-        .filter(|&i| joined_at[i].is_some())
-        .map(|i| NodeId::new(i as u32))
-        .collect();
-    let residual: Vec<NodeId> = (0..n)
-        .filter(|&i| removed_at[i].is_none())
-        .map(|i| NodeId::new(i as u32))
-        .collect();
-    let residual_edge_count = g
-        .edges()
-        .filter(|&(u, v)| removed_at[u.index()].is_none() && removed_at[v.index()].is_none())
-        .count();
-    let mut ledger = congest.into_ledger();
-    ledger.merge(beeping.ledger());
-    SparsifiedRun {
-        mis,
-        residual,
-        joined_at,
-        removed_at,
-        pexp,
-        iterations: t0,
-        ledger,
-        phases,
-        residual_edge_count,
-        trace: SparsifiedTrace::default(),
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.seed);
+        w.write_usize(self.params.phase_len);
+        w.write_u32(self.params.super_heavy_log2);
+        w.write_u64(self.params.max_iterations);
+        w.write_bool(self.params.record_trace);
+        w.write_ledger(self.congest.ledger());
+        w.write_ledger(self.beeping.ledger());
+        w.write_u64(self.t0);
+        w.write_vec_u32(&self.pexp);
+        w.write_vec_opt_u64(&self.joined_at);
+        w.write_vec_opt_u64(&self.removed_at);
+        w.write_usize(self.undecided);
+        write_phases(w, &self.phases);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("seed", self.seed)?;
+        r.expect_usize("phase_len", self.params.phase_len)?;
+        r.expect_u32("super_heavy_log2", self.params.super_heavy_log2)?;
+        r.expect_u64("max_iterations", self.params.max_iterations)?;
+        r.expect_bool("record_trace", self.params.record_trace)?;
+        *self.congest.ledger_mut() = r.read_ledger()?;
+        *self.beeping.ledger_mut() = r.read_ledger()?;
+        self.t0 = r.read_u64()?;
+        self.pexp = r.read_vec_u32()?;
+        self.joined_at = r.read_vec_opt_u64()?;
+        self.removed_at = r.read_vec_opt_u64()?;
+        self.undecided = r.read_usize()?;
+        self.phases = read_phases(r)?;
+        let n = self.g.node_count();
+        check_node_vec_len("pexp vector length", self.pexp.len(), n)?;
+        check_node_vec_len("joined_at vector length", self.joined_at.len(), n)?;
+        check_node_vec_len("removed_at vector length", self.removed_at.len(), n)?;
+        Ok(())
     }
 }
 

@@ -52,13 +52,17 @@ pub mod beeping;
 pub mod bits;
 pub mod clique;
 pub mod congest;
+pub mod driver;
 pub mod metrics;
 pub mod par_nodes;
 pub mod rng;
 pub mod routing;
 pub mod runtime;
+pub mod snapshot;
 
+pub use driver::{drive, drive_observed, drive_with_checkpoints, Execution, Status};
 pub use metrics::{BandwidthError, RoundLedger};
 pub use par_nodes::par_map_nodes;
 pub use rng::SharedRandomness;
 pub use runtime::{RoundEvent, RoundObserver, SharedObserver};
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};

@@ -98,6 +98,84 @@ impl SharedRandomness {
     }
 }
 
+/// A saved position in one randomness stream.
+///
+/// The counter-based generator is stateless — any coin is a pure function
+/// of `(seed, stream, node, round)` — but executions still need to *name*
+/// how far a stream has advanced so a checkpoint can resume drawing at the
+/// right round instead of replaying from round 0. A `StreamCursor` is that
+/// name: it pairs a [`SharedRandomness`] and a [`Stream`] with an explicit
+/// position, draws coins at the current position, and round-trips through
+/// [`StreamCursor::position`] / [`StreamCursor::seek`].
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_sim::rng::{SharedRandomness, Stream, StreamCursor};
+/// use cc_mis_graph::NodeId;
+///
+/// let mut c = StreamCursor::new(SharedRandomness::new(7), Stream::Priority);
+/// c.advance();
+/// let saved = c.position();
+/// let expected = c.bits(NodeId::new(3));
+/// // A fresh cursor seeked to the saved position draws the same value:
+/// let mut resumed = StreamCursor::new(SharedRandomness::new(7), Stream::Priority);
+/// resumed.seek(saved);
+/// assert_eq!(resumed.bits(NodeId::new(3)), expected);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamCursor {
+    rng: SharedRandomness,
+    stream: Stream,
+    position: u64,
+}
+
+impl StreamCursor {
+    /// Opens a cursor at position 0 of `stream`.
+    pub const fn new(rng: SharedRandomness, stream: Stream) -> Self {
+        StreamCursor {
+            rng,
+            stream,
+            position: 0,
+        }
+    }
+
+    /// The current position (how many times the stream has advanced).
+    pub const fn position(&self) -> u64 {
+        self.position
+    }
+
+    /// Jumps to an absolute position (checkpoint restore).
+    pub fn seek(&mut self, position: u64) {
+        self.position = position;
+    }
+
+    /// Moves to the next position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on position overflow (no execution advances a stream
+    /// anywhere near `2^64` times).
+    pub fn advance(&mut self) {
+        self.position = self
+            .position
+            .checked_add(1)
+            .expect("stream position stays within u64 (iteration counts bounded far below 2^64)");
+    }
+
+    /// The `[0, 1)` coin of `node` at the current position.
+    #[inline]
+    pub fn coin(&self, node: NodeId) -> f64 {
+        self.rng.coin(self.stream, node, self.position)
+    }
+
+    /// 64 uniform bits for `node` at the current position.
+    #[inline]
+    pub fn bits(&self, node: NodeId) -> u64 {
+        self.rng.bits(self.stream, node, self.position)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +243,49 @@ mod tests {
     fn randomness_is_copy_and_cheap() {
         fn assert_copy<T: Copy>() {}
         assert_copy::<SharedRandomness>();
+        assert_copy::<StreamCursor>();
+    }
+
+    #[test]
+    fn cursor_save_restore_continues_the_identical_sequence() {
+        let rng = SharedRandomness::new(13);
+        // Straight pass: draw 12 positions for 5 nodes.
+        let mut straight = Vec::new();
+        let mut c = StreamCursor::new(rng, Stream::Beep);
+        for _ in 0..12 {
+            for v in 0..5u32 {
+                straight.push((c.bits(NodeId::new(v)), c.coin(NodeId::new(v))));
+            }
+            c.advance();
+        }
+        // Interrupted pass: save at position 7, resume in a fresh cursor.
+        let mut first = StreamCursor::new(rng, Stream::Beep);
+        let mut interrupted = Vec::new();
+        for _ in 0..7 {
+            for v in 0..5u32 {
+                interrupted.push((first.bits(NodeId::new(v)), first.coin(NodeId::new(v))));
+            }
+            first.advance();
+        }
+        let saved = first.position();
+        let mut second = StreamCursor::new(rng, Stream::Beep);
+        second.seek(saved);
+        for _ in 7..12 {
+            for v in 0..5u32 {
+                interrupted.push((second.bits(NodeId::new(v)), second.coin(NodeId::new(v))));
+            }
+            second.advance();
+        }
+        assert_eq!(straight, interrupted);
+    }
+
+    #[test]
+    fn cursor_matches_direct_addressing() {
+        let rng = SharedRandomness::new(21);
+        let mut c = StreamCursor::new(rng, Stream::Priority);
+        c.seek(40);
+        let v = NodeId::new(9);
+        assert_eq!(c.bits(v), rng.bits(Stream::Priority, v, 40));
+        assert_eq!(c.coin(v), rng.coin(Stream::Priority, v, 40));
     }
 }

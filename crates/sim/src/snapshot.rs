@@ -1,0 +1,718 @@
+//! Versioned binary snapshot format for checkpoint/resume.
+//!
+//! An [`crate::driver::Execution`] must be able to freeze its complete
+//! deterministic state at a step boundary and restore it in a fresh process
+//! such that the resumed run is bit-for-bit identical to the straight run
+//! (same MIS, byte-identical ledger). This module provides the byte layout:
+//! a hand-rolled little-endian encoding with an explicit magic/version
+//! header — deliberately dependency-free (rule R8 bans registry crates, so
+//! no serde) and self-checking (every identity field is written by the
+//! checkpointing run and *verified* by the resuming run, so a graph, seed,
+//! or parameter mismatch is rejected with a named error instead of
+//! producing a silently corrupt run).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic     4 bytes  b"CCMS"
+//! version   u32      currently 1
+//! algorithm str      u64 length + UTF-8 bytes
+//! payload   ...      execution-defined field sequence (see Execution::save)
+//! ```
+//!
+//! The payload is *not* self-describing: reader and writer must agree on
+//! the field sequence, which is what the version number pins. Executions
+//! conventionally write their identity fields first (graph fingerprint,
+//! seed, parameters) via the `expect_*` reader methods, then the ledger,
+//! then per-node state.
+
+use std::error::Error;
+use std::fmt;
+
+use cc_mis_graph::rng::mix3;
+use cc_mis_graph::Graph;
+
+use crate::metrics::{PhaseRecord, RoundLedger};
+
+/// File magic for clique-mis snapshots.
+pub const MAGIC: [u8; 4] = *b"CCMS";
+
+/// Current snapshot format version.
+pub const VERSION: u32 = 1;
+
+/// Why a snapshot could not be decoded or does not match this run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte stream ended before the expected field.
+    Truncated {
+        /// Byte offset at which the read was attempted.
+        offset: usize,
+    },
+    /// The leading magic bytes are not [`MAGIC`]: not a snapshot file.
+    BadMagic,
+    /// The header version is not [`VERSION`].
+    BadVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// An identity field does not match this run's configuration
+    /// (different graph, seed, algorithm, or parameters).
+    Mismatch {
+        /// Name of the mismatching field.
+        field: &'static str,
+        /// Value this run expected.
+        expected: String,
+        /// Value stored in the snapshot.
+        found: String,
+    },
+    /// A structurally impossible value (e.g. a length larger than the
+    /// remaining byte stream).
+    Corrupt {
+        /// Byte offset of the bad value.
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// Decoding finished but bytes remain: reader/writer disagree on the
+    /// field sequence.
+    TrailingBytes {
+        /// How many bytes were left unread.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { offset } => {
+                write!(f, "snapshot truncated at byte {offset}")
+            }
+            SnapshotError::BadMagic => {
+                write!(f, "not a clique-mis snapshot (bad magic)")
+            }
+            SnapshotError::BadVersion { found } => write!(
+                f,
+                "snapshot format version {found} unsupported (this build reads version {VERSION})"
+            ),
+            SnapshotError::Mismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot does not match this run: {field} is {found} in the snapshot \
+                 but {expected} here"
+            ),
+            SnapshotError::Corrupt { offset, what } => {
+                write!(f, "snapshot corrupt at byte {offset}: {what}")
+            }
+            SnapshotError::TrailingBytes { remaining } => write!(
+                f,
+                "snapshot has {remaining} trailing bytes after the final field"
+            ),
+        }
+    }
+}
+
+impl Error for SnapshotError {}
+
+/// Deterministic 64-bit identity hash of a graph: a [`mix3`] chain over the
+/// node count and the sorted edge list. Two graphs collide only if they
+/// have identical edge sets (up to hash collisions), so a snapshot taken on
+/// one graph is rejected when resumed on another.
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_graph::generators;
+/// use cc_mis_sim::snapshot::graph_fingerprint;
+///
+/// let a = generators::cycle(8);
+/// let b = generators::cycle(9);
+/// assert_eq!(graph_fingerprint(&a), graph_fingerprint(&a));
+/// assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+/// ```
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut h = mix3(
+        0x636C_6971_7565_6D69, // b"cliquemi" as a tag
+        g.node_count() as u64,
+        g.edge_count() as u64,
+    );
+    for (u, v) in g.edge_list() {
+        h = mix3(h, u as u64, v as u64);
+    }
+    h
+}
+
+/// Appends snapshot fields to a growing byte buffer.
+///
+/// Construction writes the header; [`SnapshotWriter::finish`] yields the
+/// final bytes.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot for the named algorithm (header is written here).
+    pub fn new(algorithm: &str) -> Self {
+        SnapshotWriter::with_buffer(Vec::new(), algorithm)
+    }
+
+    /// [`SnapshotWriter::new`] writing into a recycled buffer — the
+    /// checkpoint loop reuses one allocation across snapshots. The buffer
+    /// is cleared before the header is written.
+    pub fn with_buffer(mut buf: Vec<u8>, algorithm: &str) -> Self {
+        buf.clear();
+        let mut w = SnapshotWriter { buf };
+        w.buf.extend_from_slice(&MAGIC);
+        w.write_u32(VERSION);
+        w.write_str(algorithm);
+        w
+    }
+
+    /// Consumes the writer and returns the encoded snapshot.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes a `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` (encoded as `u64`).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes an `f64` via its exact IEEE-754 bit pattern (bit-exact
+    /// round-trip; snapshots never re-derive floats).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, v: &str) {
+        self.write_u64(v.len() as u64);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Writes an `Option<u64>` as a presence byte plus the value.
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.write_bool(false),
+            Some(x) => {
+                self.write_bool(true);
+                self.write_u64(x);
+            }
+        }
+    }
+
+    /// Writes a `Vec<u32>` with a length prefix.
+    pub fn write_vec_u32(&mut self, v: &[u32]) {
+        self.write_u64(v.len() as u64);
+        for &x in v {
+            self.write_u32(x);
+        }
+    }
+
+    /// Writes a `Vec<u64>` with a length prefix.
+    pub fn write_vec_u64(&mut self, v: &[u64]) {
+        self.write_u64(v.len() as u64);
+        for &x in v {
+            self.write_u64(x);
+        }
+    }
+
+    /// Writes a `Vec<bool>` with a length prefix, one byte per element.
+    pub fn write_vec_bool(&mut self, v: &[bool]) {
+        self.write_u64(v.len() as u64);
+        for &x in v {
+            self.write_bool(x);
+        }
+    }
+
+    /// Writes a `Vec<Option<u64>>` with a length prefix.
+    pub fn write_vec_opt_u64(&mut self, v: &[Option<u64>]) {
+        self.write_u64(v.len() as u64);
+        for &x in v {
+            self.write_opt_u64(x);
+        }
+    }
+
+    /// Writes a `Vec<Option<f64>>` with a length prefix (bit-exact floats).
+    pub fn write_vec_opt_f64(&mut self, v: &[Option<f64>]) {
+        self.write_u64(v.len() as u64);
+        for &x in v {
+            match x {
+                None => self.write_bool(false),
+                Some(f) => {
+                    self.write_bool(true);
+                    self.write_f64(f);
+                }
+            }
+        }
+    }
+
+    /// Writes a complete [`RoundLedger`] including its phase breakdown.
+    pub fn write_ledger(&mut self, l: &RoundLedger) {
+        self.write_u64(l.rounds);
+        self.write_u64(l.messages);
+        self.write_u64(l.bits);
+        self.write_u64(l.violations);
+        self.write_u64(l.phases.len() as u64);
+        for p in &l.phases {
+            self.write_str(&p.label);
+            self.write_u64(p.rounds);
+            self.write_u64(p.messages);
+            self.write_u64(p.bits);
+        }
+    }
+}
+
+/// Decodes snapshot fields in the order the writer emitted them.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    algorithm: String,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Validates the header (magic + version) and positions the reader at
+    /// the first payload field.
+    pub fn new(bytes: &'a [u8]) -> Result<SnapshotReader<'a>, SnapshotError> {
+        let mut r = SnapshotReader {
+            buf: bytes,
+            pos: 0,
+            algorithm: String::new(),
+        };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.read_u32()?;
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion { found: version });
+        }
+        r.algorithm = r.read_str()?;
+        Ok(r)
+    }
+
+    /// The algorithm name stored in the header.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Checks that every byte was consumed; call after the last field.
+    pub fn finish(&self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::TrailingBytes {
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated { offset: self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn read_len(&mut self) -> Result<usize, SnapshotError> {
+        let offset = self.pos;
+        let raw = self.read_u64()?;
+        let len = usize::try_from(raw).map_err(|_| SnapshotError::Corrupt {
+            offset,
+            what: "length does not fit in usize",
+        })?;
+        // Every encoded element occupies at least one byte, so a length
+        // beyond the remaining bytes can only come from corruption.
+        if len > self.remaining() {
+            return Err(SnapshotError::Corrupt {
+                offset,
+                what: "length exceeds remaining bytes",
+            });
+        }
+        Ok(len)
+    }
+
+    /// Reads a `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Reads a `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a `usize` (encoded as `u64`).
+    pub fn read_usize(&mut self) -> Result<usize, SnapshotError> {
+        let offset = self.pos;
+        let raw = self.read_u64()?;
+        usize::try_from(raw).map_err(|_| SnapshotError::Corrupt {
+            offset,
+            what: "value does not fit in usize",
+        })
+    }
+
+    /// Reads a `bool` byte.
+    pub fn read_bool(&mut self) -> Result<bool, SnapshotError> {
+        let offset = self.pos;
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt {
+                offset,
+                what: "bool byte is neither 0 nor 1",
+            }),
+        }
+    }
+
+    /// Reads an `f64` from its exact bit pattern.
+    pub fn read_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.read_len()?;
+        let offset = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::Corrupt {
+            offset,
+            what: "string is not valid UTF-8",
+        })
+    }
+
+    /// Reads an `Option<u64>`.
+    pub fn read_opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        if self.read_bool()? {
+            Ok(Some(self.read_u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a `Vec<u32>`.
+    pub fn read_vec_u32(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let len = self.read_len()?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.read_u32()?);
+        }
+        Ok(v)
+    }
+
+    /// Reads a `Vec<u64>`.
+    pub fn read_vec_u64(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let len = self.read_len()?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.read_u64()?);
+        }
+        Ok(v)
+    }
+
+    /// Reads a `Vec<bool>`.
+    pub fn read_vec_bool(&mut self) -> Result<Vec<bool>, SnapshotError> {
+        let len = self.read_len()?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.read_bool()?);
+        }
+        Ok(v)
+    }
+
+    /// Reads a `Vec<Option<u64>>`.
+    pub fn read_vec_opt_u64(&mut self) -> Result<Vec<Option<u64>>, SnapshotError> {
+        let len = self.read_len()?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.read_opt_u64()?);
+        }
+        Ok(v)
+    }
+
+    /// Reads a `Vec<Option<f64>>`.
+    pub fn read_vec_opt_f64(&mut self) -> Result<Vec<Option<f64>>, SnapshotError> {
+        let len = self.read_len()?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            if self.read_bool()? {
+                v.push(Some(self.read_f64()?));
+            } else {
+                v.push(None);
+            }
+        }
+        Ok(v)
+    }
+
+    /// Reads a complete [`RoundLedger`].
+    pub fn read_ledger(&mut self) -> Result<RoundLedger, SnapshotError> {
+        let rounds = self.read_u64()?;
+        let messages = self.read_u64()?;
+        let bits = self.read_u64()?;
+        let violations = self.read_u64()?;
+        let phase_count = self.read_len()?;
+        let mut phases = Vec::with_capacity(phase_count);
+        for _ in 0..phase_count {
+            let label = self.read_str()?;
+            let rounds = self.read_u64()?;
+            let messages = self.read_u64()?;
+            let bits = self.read_u64()?;
+            phases.push(PhaseRecord {
+                label,
+                rounds,
+                messages,
+                bits,
+            });
+        }
+        Ok(RoundLedger {
+            rounds,
+            messages,
+            bits,
+            violations,
+            phases,
+        })
+    }
+
+    /// Reads a `u64` and rejects the snapshot if it differs from the value
+    /// this run derives locally (seed, fingerprint, integer parameter).
+    pub fn expect_u64(&mut self, field: &'static str, expected: u64) -> Result<(), SnapshotError> {
+        let found = self.read_u64()?;
+        if found != expected {
+            return Err(SnapshotError::Mismatch {
+                field,
+                expected: expected.to_string(),
+                found: found.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// [`SnapshotReader::expect_u64`] for `u32` fields.
+    pub fn expect_u32(&mut self, field: &'static str, expected: u32) -> Result<(), SnapshotError> {
+        let found = self.read_u32()?;
+        if found != expected {
+            return Err(SnapshotError::Mismatch {
+                field,
+                expected: expected.to_string(),
+                found: found.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// [`SnapshotReader::expect_u64`] for `usize` fields.
+    pub fn expect_usize(
+        &mut self,
+        field: &'static str,
+        expected: usize,
+    ) -> Result<(), SnapshotError> {
+        let found = self.read_usize()?;
+        if found != expected {
+            return Err(SnapshotError::Mismatch {
+                field,
+                expected: expected.to_string(),
+                found: found.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// [`SnapshotReader::expect_u64`] for `bool` fields.
+    pub fn expect_bool(
+        &mut self,
+        field: &'static str,
+        expected: bool,
+    ) -> Result<(), SnapshotError> {
+        let found = self.read_bool()?;
+        if found != expected {
+            return Err(SnapshotError::Mismatch {
+                field,
+                expected: expected.to_string(),
+                found: found.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// [`SnapshotReader::expect_u64`] for `f64` parameters, compared by
+    /// exact bit pattern.
+    pub fn expect_f64(&mut self, field: &'static str, expected: f64) -> Result<(), SnapshotError> {
+        let found = self.read_f64()?;
+        if found.to_bits() != expected.to_bits() {
+            return Err(SnapshotError::Mismatch {
+                field,
+                expected: expected.to_string(),
+                found: found.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_mis_graph::generators;
+
+    #[test]
+    fn round_trips_every_field_kind() {
+        let mut w = SnapshotWriter::new("demo");
+        w.write_u32(7);
+        w.write_u64(u64::MAX);
+        w.write_usize(42);
+        w.write_bool(true);
+        w.write_f64(0.125);
+        w.write_str("phase t0=3");
+        w.write_opt_u64(Some(9));
+        w.write_opt_u64(None);
+        w.write_vec_u32(&[1, 2, 3]);
+        w.write_vec_u64(&[]);
+        w.write_vec_bool(&[true, false]);
+        w.write_vec_opt_u64(&[None, Some(5)]);
+        w.write_vec_opt_f64(&[Some(0.5), None]);
+        let bytes = w.finish();
+
+        let mut r = SnapshotReader::new(&bytes).expect("header decodes");
+        assert_eq!(r.algorithm(), "demo");
+        assert_eq!(r.read_u32().expect("u32 decodes"), 7);
+        assert_eq!(r.read_u64().expect("u64 decodes"), u64::MAX);
+        assert_eq!(r.read_usize().expect("usize decodes"), 42);
+        assert!(r.read_bool().expect("bool decodes"));
+        assert_eq!(r.read_f64().expect("f64 decodes"), 0.125);
+        assert_eq!(r.read_str().expect("str decodes"), "phase t0=3");
+        assert_eq!(r.read_opt_u64().expect("opt decodes"), Some(9));
+        assert_eq!(r.read_opt_u64().expect("opt decodes"), None);
+        assert_eq!(r.read_vec_u32().expect("vec decodes"), vec![1, 2, 3]);
+        assert!(r.read_vec_u64().expect("vec decodes").is_empty());
+        assert_eq!(r.read_vec_bool().expect("vec decodes"), vec![true, false]);
+        assert_eq!(
+            r.read_vec_opt_u64().expect("vec decodes"),
+            vec![None, Some(5)]
+        );
+        assert_eq!(
+            r.read_vec_opt_f64().expect("vec decodes"),
+            vec![Some(0.5), None]
+        );
+        r.finish().expect("all bytes consumed");
+    }
+
+    #[test]
+    fn ledger_round_trips_with_phases() {
+        let mut l = RoundLedger::new();
+        l.begin_phase("a");
+        l.charge_round();
+        l.charge_message(12);
+        l.begin_phase("b");
+        l.charge_rounds(3);
+        l.charge_violation();
+        let mut w = SnapshotWriter::new("demo");
+        w.write_ledger(&l);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes).expect("header decodes");
+        assert_eq!(r.read_ledger().expect("ledger decodes"), l);
+        r.finish().expect("all bytes consumed");
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_named() {
+        assert_eq!(
+            SnapshotReader::new(b"XXXX\x01\x00\x00\x00").err(),
+            Some(SnapshotError::BadMagic)
+        );
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            SnapshotReader::new(&bytes).err(),
+            Some(SnapshotError::BadVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = SnapshotWriter::new("demo");
+        w.write_u64(5);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes[..bytes.len() - 1]).expect("header decodes");
+        assert!(matches!(r.read_u64(), Err(SnapshotError::Truncated { .. })));
+    }
+
+    #[test]
+    fn oversized_length_is_corrupt_not_alloc() {
+        let mut w = SnapshotWriter::new("demo");
+        w.write_u64(u64::MAX); // absurd vec length
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes).expect("header decodes");
+        assert!(matches!(
+            r.read_vec_u64(),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn expect_reports_field_and_values() {
+        let mut w = SnapshotWriter::new("demo");
+        w.write_u64(3);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes).expect("header decodes");
+        let err = r.expect_u64("seed", 7).expect_err("mismatch detected");
+        let msg = err.to_string();
+        assert!(msg.contains("seed"), "{msg}");
+        assert!(msg.contains('3') && msg.contains('7'), "{msg}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = SnapshotWriter::new("demo");
+        w.write_u64(1);
+        let bytes = w.finish();
+        let r = SnapshotReader::new(&bytes).expect("header decodes");
+        assert_eq!(
+            r.finish().err(),
+            Some(SnapshotError::TrailingBytes { remaining: 8 })
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_graphs_and_is_stable() {
+        let a = generators::erdos_renyi_gnp(30, 0.2, 1);
+        let b = generators::erdos_renyi_gnp(30, 0.2, 2);
+        assert_eq!(graph_fingerprint(&a), graph_fingerprint(&a));
+        assert_ne!(graph_fingerprint(&a), graph_fingerprint(&b));
+        assert_ne!(
+            graph_fingerprint(&generators::cycle(5)),
+            graph_fingerprint(&generators::path(5))
+        );
+    }
+}

@@ -15,27 +15,30 @@
 
 use std::process::ExitCode;
 
-use clique_mis::algorithms::beeping_mis::{run_beeping_to_completion_observed, BeepingParams};
+use clique_mis::algorithms::beeping_mis::{BeepingExecution, BeepingParams};
 use clique_mis::algorithms::clique_mis::{
-    run_clique_mis_outcome, run_clique_mis_outcome_observed, CliqueMisParams,
+    run_clique_mis_outcome, CliqueMisExecution, CliqueMisParams,
 };
 use clique_mis::algorithms::ghaffari16::{
-    run_ghaffari16_clique_observed, run_ghaffari16_observed, Ghaffari16Params,
+    Ghaffari16CliqueExecution, Ghaffari16Execution, Ghaffari16Params,
 };
 use clique_mis::algorithms::greedy::greedy_mis;
 use clique_mis::algorithms::lca::{MisAnswer, MisOracle};
-use clique_mis::algorithms::lowdeg::{run_lowdeg_observed, run_theorem_1_1_observed, LowDegParams};
-use clique_mis::algorithms::luby::{run_luby_observed, LubyParams};
+use clique_mis::algorithms::lowdeg::{AutoExecution, LowDegExecution, LowDegParams};
+use clique_mis::algorithms::luby::{LubyExecution, LubyParams};
 use clique_mis::algorithms::reductions::{
     coloring_via_mis, edge_coloring_via_mis, maximal_matching_via_mis,
 };
 use clique_mis::algorithms::ruling_set::k_ruling_set_via_mis;
-use clique_mis::algorithms::sparsified::{run_sparsified_with_cleanup_observed, SparsifiedParams};
+use clique_mis::algorithms::sparsified::{
+    finish_with_cleanup, SparsifiedExecution, SparsifiedMessagedExecution, SparsifiedParams,
+};
 use clique_mis::algorithms::MisOutcome;
 use clique_mis::analysis::json::Json;
 use clique_mis::analysis::trace::JsonlTraceSink;
 use clique_mis::graph::{checks, generators, io as graph_io, Graph, NodeId};
-use clique_mis::sim::SharedObserver;
+use clique_mis::sim::driver::resume;
+use clique_mis::sim::{drive_observed, drive_with_checkpoints, Execution, SharedObserver};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,7 +54,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  clique-mis run    --algorithm <greedy|luby|ghaffari16|g16-clique|beeping|sparsified|thm11|lowdeg|auto> <graph> [--seed S] [--json] [--trace PATH]
+  clique-mis run    --algorithm <greedy|luby|ghaffari16|g16-clique|beeping|sparsified|thm11|lowdeg|auto> <graph> [--seed S] [--json] [--trace PATH] [--checkpoint PATH [--checkpoint-every K]] [--resume PATH]
   clique-mis reduce --kind <matching|vertex-coloring|edge-coloring> <graph> [--seed S]
   clique-mis ruling --k <K> <graph> [--seed S]
   clique-mis query  --node <V> <graph> [--seed S]
@@ -195,47 +198,173 @@ fn phases_json(outcome: &MisOutcome) -> String {
     .render()
 }
 
+/// Checkpoint/resume flags shared by all `run` algorithms.
+struct CheckpointOpts {
+    /// Where to write snapshots during the run (`--checkpoint PATH`).
+    checkpoint: Option<String>,
+    /// Snapshot cadence in steps (`--checkpoint-every K`, default 1).
+    every: u64,
+    /// Snapshot to restore before stepping (`--resume PATH`).
+    resume: Option<String>,
+}
+
+impl CheckpointOpts {
+    fn parse(opts: &Options) -> Result<CheckpointOpts, String> {
+        let every: u64 = opts.get_parsed("checkpoint-every")?.unwrap_or(1);
+        if every == 0 {
+            return Err("--checkpoint-every must be at least 1".into());
+        }
+        if opts.get("checkpoint-every").is_some() && opts.get("checkpoint").is_none() {
+            return Err("--checkpoint-every needs --checkpoint PATH".into());
+        }
+        Ok(CheckpointOpts {
+            checkpoint: opts.get("checkpoint").map(str::to_string),
+            every,
+            resume: opts.get("resume").map(str::to_string),
+        })
+    }
+
+    fn any(&self) -> bool {
+        self.checkpoint.is_some() || self.resume.is_some()
+    }
+}
+
+/// Drives an execution to completion, honouring `--resume` and `--checkpoint`.
+///
+/// A `--resume` snapshot is restored before the first step; any mismatch
+/// (wrong algorithm, graph, or parameters) is reported as a clear error.
+/// With `--checkpoint`, every `K`-th step boundary overwrites `PATH` with a
+/// fresh snapshot, so the newest resumable state survives a crash.
+fn drive_cli<E: Execution>(
+    mut exec: E,
+    observer: Option<SharedObserver>,
+    ck: &CheckpointOpts,
+) -> Result<E::Outcome, String> {
+    if let Some(path) = &ck.resume {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading snapshot {path}: {e}"))?;
+        resume(&mut exec, &bytes).map_err(|e| format!("resuming from {path}: {e}"))?;
+    }
+    match &ck.checkpoint {
+        None => Ok(drive_observed(exec, observer)),
+        Some(path) => {
+            let mut io_error: Option<String> = None;
+            let outcome = drive_with_checkpoints(exec, observer, ck.every, |_, bytes| {
+                if io_error.is_none() {
+                    if let Err(e) = std::fs::write(path, bytes) {
+                        io_error = Some(format!("writing snapshot {path}: {e}"));
+                    }
+                }
+            });
+            match io_error {
+                Some(e) => Err(e),
+                None => Ok(outcome),
+            }
+        }
+    }
+}
+
 fn cmd_run(opts: &Options) -> Result<(), String> {
     let g = load_graph(opts)?;
     let seed: u64 = opts.get_parsed("seed")?.unwrap_or(1);
     let algorithm = opts.get("algorithm").unwrap_or("auto");
+    let ck = CheckpointOpts::parse(opts)?;
     let sink = opts.get("trace").map(|p| JsonlTraceSink::new(p).shared());
     let obs = || -> Option<SharedObserver> { sink.as_ref().map(JsonlTraceSink::as_observer) };
     let (outcome, label): (MisOutcome, String) = match algorithm {
-        "greedy" => (
-            MisOutcome {
-                mis: greedy_mis(&g),
-                ledger: Default::default(),
-                iterations: 0,
-            },
-            "greedy (sequential)".into(),
-        ),
+        "greedy" => {
+            if ck.any() {
+                return Err("greedy is sequential; checkpointing is not supported".into());
+            }
+            (
+                MisOutcome {
+                    mis: greedy_mis(&g),
+                    ledger: Default::default(),
+                    iterations: 0,
+                },
+                "greedy (sequential)".into(),
+            )
+        }
         "luby" => (
-            run_luby_observed(&g, &LubyParams::for_graph(&g), seed, obs()),
+            drive_cli(
+                LubyExecution::new(&g, &LubyParams::for_graph(&g), seed),
+                obs(),
+                &ck,
+            )?,
             "luby (CONGEST)".into(),
         ),
         "ghaffari16" => (
-            run_ghaffari16_observed(&g, &Ghaffari16Params::for_graph(&g), seed, obs()),
+            drive_cli(
+                Ghaffari16Execution::new(&g, &Ghaffari16Params::for_graph(&g), seed),
+                obs(),
+                &ck,
+            )?,
             "ghaffari16 (CONGEST)".into(),
         ),
         "g16-clique" => (
-            run_ghaffari16_clique_observed(&g, &Ghaffari16Params::for_graph(&g), seed, obs()),
+            drive_cli(
+                Ghaffari16CliqueExecution::new(&g, &Ghaffari16Params::for_graph(&g), seed),
+                obs(),
+                &ck,
+            )?,
             "ghaffari16 (congested clique)".into(),
         ),
-        "beeping" => (
-            run_beeping_to_completion_observed(&g, &BeepingParams::for_graph(&g), seed, obs()),
-            "beeping MIS (§2.2)".into(),
-        ),
-        "sparsified" => (
-            run_sparsified_with_cleanup_observed(&g, &SparsifiedParams::for_graph(&g), seed, obs()),
-            "sparsified beeping MIS (§2.3)".into(),
-        ),
-        "thm11" => (
-            run_clique_mis_outcome_observed(&g, &CliqueMisParams::default(), seed, obs()),
-            "Theorem 1.1 (§2.4, congested clique)".into(),
-        ),
+        "beeping" => {
+            let run = drive_cli(
+                BeepingExecution::new(&g, &BeepingParams::for_graph(&g), seed),
+                obs(),
+                &ck,
+            )?;
+            if !run.residual.is_empty() {
+                return Err(format!(
+                    "beeping run left {} undecided node(s); raise the iteration budget",
+                    run.residual.len()
+                ));
+            }
+            (
+                MisOutcome {
+                    mis: run.mis,
+                    ledger: run.ledger,
+                    iterations: run.iterations,
+                },
+                "beeping MIS (§2.2)".into(),
+            )
+        }
+        "sparsified" => {
+            let params = SparsifiedParams::for_graph(&g);
+            let run = match obs() {
+                None => drive_cli(SparsifiedExecution::new(&g, &params, seed), None, &ck)?,
+                Some(observer) => drive_cli(
+                    SparsifiedMessagedExecution::new(&g, &params, seed),
+                    Some(observer),
+                    &ck,
+                )?,
+            };
+            (
+                finish_with_cleanup(&g, run),
+                "sparsified beeping MIS (§2.3)".into(),
+            )
+        }
+        "thm11" => {
+            let r = drive_cli(
+                CliqueMisExecution::new(&g, &CliqueMisParams::default(), seed),
+                obs(),
+                &ck,
+            )?;
+            (
+                MisOutcome {
+                    mis: r.mis,
+                    ledger: r.ledger,
+                    iterations: r.iterations,
+                },
+                "Theorem 1.1 (§2.4, congested clique)".into(),
+            )
+        }
         "lowdeg" => {
-            let r = run_lowdeg_observed(&g, &LowDegParams::default(), seed, obs());
+            let r = drive_cli(
+                LowDegExecution::new(&g, &LowDegParams::default(), seed),
+                obs(),
+                &ck,
+            )?;
             (
                 MisOutcome {
                     mis: r.mis,
@@ -246,7 +375,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             )
         }
         "auto" => {
-            let (o, s) = run_theorem_1_1_observed(&g, seed, obs());
+            let (o, s) = drive_cli(AutoExecution::new(&g, seed), obs(), &ck)?;
             (o, format!("Theorem 1.1 dispatcher [{s:?}]"))
         }
         other => return Err(format!("unknown algorithm '{other}'")),

@@ -88,6 +88,119 @@ fn gen_then_run_roundtrips_through_a_file() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `--checkpoint` must write a snapshot that a *fresh process* can `--resume`
+/// into the exact same result, and mismatched resumes must fail loudly.
+#[test]
+fn checkpoint_roundtrips_into_resume() {
+    let dir = std::env::temp_dir().join(format!("clique-mis-ckpt-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("run.snap");
+    let graph = [
+        "--family",
+        "gnp",
+        "--n",
+        "80",
+        "--avg-deg",
+        "8",
+        "--seed",
+        "7",
+    ];
+
+    let straight = cli()
+        .args(["run", "--algorithm", "thm11"])
+        .args(graph)
+        .arg("--json")
+        .output()
+        .expect("binary runs");
+    assert!(straight.status.success());
+
+    let out = cli()
+        .args(["run", "--algorithm", "thm11"])
+        .args(graph)
+        .args([
+            "--checkpoint",
+            snap.to_str().unwrap(),
+            "--checkpoint-every",
+            "3",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        out.stdout, straight.stdout,
+        "checkpointing changed the run's output"
+    );
+    assert!(snap.exists(), "no snapshot written");
+
+    let resumed = cli()
+        .args(["run", "--algorithm", "thm11"])
+        .args(graph)
+        .args(["--resume", snap.to_str().unwrap(), "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        resumed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        resumed.stdout, straight.stdout,
+        "resumed run diverged from the straight run"
+    );
+
+    // Wrong algorithm: clear error, nonzero exit.
+    let out = cli()
+        .args(["run", "--algorithm", "luby"])
+        .args(graph)
+        .args(["--resume", snap.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("does not match this run"), "{err}");
+    assert!(err.contains("algorithm"), "{err}");
+
+    // Wrong graph: clear error, nonzero exit.
+    let out = cli()
+        .args([
+            "run",
+            "--algorithm",
+            "thm11",
+            "--family",
+            "gnp",
+            "--n",
+            "100",
+            "--avg-deg",
+            "8",
+            "--seed",
+            "7",
+            "--resume",
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("graph fingerprint"), "{err}");
+
+    // greedy is sequential — checkpoint flags are rejected.
+    let out = cli()
+        .args(["run", "--algorithm", "greedy"])
+        .args(graph)
+        .args(["--checkpoint", snap.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("greedy is sequential"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn query_answers_consistently() {
     let out = cli()
