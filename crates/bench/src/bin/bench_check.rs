@@ -1,0 +1,71 @@
+//! Benchmark regression gate for `scripts/bench.sh --check`.
+//!
+//! Usage: `bench_check <pinned.json> <fresh.json> [group] [max_regress_pct]`
+//!
+//! Compares the fresh harness medians against the pinned ones for `group`
+//! (default `clique_all_to_all_round`) and exits non-zero if any case is
+//! more than `max_regress_pct` percent slower (default 25) or missing.
+
+use cc_mis_bench::regress::{compare, parse_medians};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(pinned_path), Some(fresh_path)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: bench_check <pinned.json> <fresh.json> [group] [max_regress_pct]");
+        return ExitCode::FAILURE;
+    };
+    let group = args
+        .get(3)
+        .map_or("clique_all_to_all_round", String::as_str);
+    let max_pct: u64 = match args.get(4).map_or(Ok(25), |s| s.parse()) {
+        Ok(pct) => pct,
+        Err(_) => {
+            eprintln!("bench_check: max_regress_pct must be an integer percentage");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("bench_check: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(pinned_text), Some(fresh_text)) = (read(pinned_path), read(fresh_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let pinned = parse_medians(&pinned_text, group);
+    if pinned.is_empty() {
+        eprintln!(
+            "bench_check: no `{group}` medians in {pinned_path}; re-pin via scripts/bench.sh"
+        );
+        return ExitCode::FAILURE;
+    }
+    let fresh = parse_medians(&fresh_text, group);
+
+    let mut failed = false;
+    for case in compare(&pinned, &fresh) {
+        let regressed = case.regressed(max_pct);
+        failed |= regressed;
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        match case.fresh_ns {
+            Some(fresh_ns) => println!(
+                "{:<40} pinned {:>12} ns   fresh {:>12} ns   {verdict}",
+                case.name, case.pinned_ns, fresh_ns
+            ),
+            None => println!(
+                "{:<40} pinned {:>12} ns   fresh      MISSING   {verdict}",
+                case.name, case.pinned_ns
+            ),
+        }
+    }
+    if failed {
+        eprintln!("bench_check: `{group}` medians regressed >{max_pct}% vs {pinned_path}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_check: `{group}` within {max_pct}% of pinned medians");
+    ExitCode::SUCCESS
+}

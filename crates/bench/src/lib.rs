@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod regress;
 
 use cc_mis_graph::{generators, Graph};
 

@@ -202,6 +202,22 @@ pub const RULES: &[RuleInfo] = &[
               subroutines called from `step` — house it in the round substrate module",
     },
     RuleInfo {
+        id: "R15",
+        summary: "the round hot paths (`Round::send` / `Round::deliver`) are \
+                  allocation-free: no `Vec::new` / `with_capacity` / `vec!` / `to_vec` \
+                  outside the RoundBuffers pool",
+        contract: "in crates/sim/src/runtime.rs, the bodies of non-test `send` and \
+                   `deliver` functions on `Round` contain no allocation constructors \
+                   (`Vec::new`, `with_capacity`, `vec!`, `to_vec`)",
+        rationale: "a per-call or per-round allocation on the send/deliver path turns \
+                    the O(n^2)-messages clique round into an allocator benchmark; the \
+                    pooled RoundBuffers make steady-state rounds allocation-free, and \
+                    this rule keeps refactors from quietly reintroducing the cost",
+        fix: "route the buffer through crates/sim/src/pool.rs (take_*/retire_* on \
+              RoundBuffers) or hoist the allocation out of the hot path (e.g. into an \
+              observer-gated diagnostics helper)",
+    },
+    RuleInfo {
         id: "P1",
         summary: "conform pragmas must be well-formed, name known rules, and carry a \
                   justification",
@@ -674,7 +690,8 @@ fn registry_finding(path: &str, line: usize, name: &str) -> Finding {
     )
 }
 
-/// Runs the structural rules R10–R13 over the whole parsed workspace.
+/// Runs the structural rules R10–R13 and R15 over the whole parsed
+/// workspace.
 ///
 /// `syntaxes` and `pragmas` must be index-aligned with the `.rs` sources
 /// the call graph was built from. Pragmas are consulted here (not only in
@@ -691,6 +708,7 @@ pub fn check_structural(
     check_r11(syntaxes, findings);
     check_r12(syntaxes, graph, findings);
     check_r13(sources, syntaxes, findings);
+    check_r15(sources, syntaxes, findings);
 }
 
 /// R10: interprocedural closure of R9 — any library function outside the
@@ -1026,6 +1044,55 @@ fn check_r13(sources: &[SourceFile], syntaxes: &[FileSyntax], findings: &mut Vec
                 ));
             }
         });
+    }
+}
+
+/// R15: the round hot paths are allocation-free — the bodies of
+/// `Round::send` and `Round::deliver` in runtime.rs contain no allocation
+/// constructors. Steady-state rounds must recycle pooled buffers; a stray
+/// `Vec::new`/`vec!` here costs an allocation per round (or per message)
+/// on the O(n²) clique path.
+fn check_r15(sources: &[SourceFile], syntaxes: &[FileSyntax], findings: &mut Vec<Finding>) {
+    const BANNED: [&str; 4] = ["Vec::new", "with_capacity", "vec!", "to_vec("];
+    for (fi, fs) in syntaxes.iter().enumerate() {
+        let path = fs.effective.as_str();
+        if !is_runtime(path) {
+            continue;
+        }
+        let lines = &sources[fi].lines;
+        for f in &fs.fns {
+            if f.is_test
+                || f.self_type.as_deref() != Some("Round")
+                || !(f.name == "send" || f.name == "deliver")
+            {
+                continue;
+            }
+            for lineno in f.start_line..=f.end_line {
+                let Some(line) = lines.get(lineno - 1) else {
+                    continue;
+                };
+                if line.in_test {
+                    continue;
+                }
+                for pat in BANNED {
+                    if line.code.contains(pat) {
+                        findings.push(Finding::new(
+                            path,
+                            lineno,
+                            "R15",
+                            format!(
+                                "`{pat}` inside `Round::{}`: the round hot path must stay \
+                                 allocation-free — take the buffer from the RoundBuffers \
+                                 pool (crates/sim/src/pool.rs) or hoist the allocation out \
+                                 of send/deliver",
+                                f.name
+                            ),
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -203,6 +203,21 @@ fn r14_rounds_outside_runner_modules() {
     );
 }
 
+#[test]
+fn r15_allocation_in_round_hot_paths() {
+    assert_fires_and_clean("R15", "r15_fires.rs", "r15_clean.rs");
+    // Both hot paths are policed, and the message names the offending fn.
+    let firing = check(&[fixture("r15_fires.rs")]);
+    for method in ["send", "deliver"] {
+        assert!(
+            firing
+                .iter()
+                .any(|f| f.rule == "R15" && f.message.contains(&format!("`Round::{method}`"))),
+            "R15 should fire inside Round::{method}: {firing:?}"
+        );
+    }
+}
+
 /// Maps a rule id to its (firing, clean) fixture file names.
 fn fixture_pair(id: &str) -> (String, String) {
     match id {

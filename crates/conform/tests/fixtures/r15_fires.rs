@@ -1,0 +1,20 @@
+// conform-fixture: crates/sim/src/runtime.rs
+/// Hot-path allocation: every round (and every send) pays the allocator.
+pub struct Round {
+    outbox: Vec<(u32, u32)>,
+}
+
+impl Round {
+    pub fn send(&mut self, src: u32, dst: u32) {
+        let mut scratch = Vec::new();
+        scratch.push((src, dst));
+        self.outbox.extend(scratch);
+    }
+
+    pub fn deliver(&mut self) -> Vec<Vec<u32>> {
+        let mut inboxes = Vec::with_capacity(4);
+        inboxes.push(self.outbox.iter().map(|&(_, d)| d).collect());
+        self.outbox.clear();
+        inboxes
+    }
+}

@@ -22,7 +22,7 @@ use cc_mis_sim::runtime::{Round, Transport};
 /// The transport is generic: the same helper drives CONGEST rounds (where
 /// neighbor sends are the only admissible links) and congested-clique
 /// rounds that choose to communicate along graph edges.
-pub(crate) fn broadcast_to_alive_neighbors<T: Transport, M: Clone>(
+pub(crate) fn broadcast_to_alive_neighbors<T: Transport, M: Clone + Send + 'static>(
     round: &mut Round<'_, T, M>,
     g: &Graph,
     alive: &[bool],

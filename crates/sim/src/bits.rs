@@ -71,6 +71,13 @@ pub fn idx_u32(i: usize) -> u32 {
     u32::try_from(i).expect("index fits the u32 tables (n well below 2^32)")
 }
 
+/// Packs an ordered `(src, dst)` node pair into the 64-bit key used by the
+/// sparse per-pair budget log (`src` in the high word), so a whole pair
+/// compares and hashes as one machine word.
+pub const fn pair_key(src: u32, dst: u32) -> u64 {
+    ((src as u64) << 32) | dst as u64
+}
+
 /// Width-safe `u64 → usize` conversion for indexing with 64-bit arithmetic
 /// results. Panics (naming the invariant) instead of truncating on 32-bit
 /// targets.
@@ -106,5 +113,14 @@ mod tests {
     fn node_id_bits_matches() {
         assert_eq!(node_id_bits(1024), 10);
         assert_eq!(node_id_bits(1000), 10);
+    }
+
+    #[test]
+    fn pair_key_is_injective_on_words() {
+        assert_eq!(pair_key(0, 0), 0);
+        assert_eq!(pair_key(0, 1), 1);
+        assert_eq!(pair_key(1, 0), 1 << 32);
+        assert_eq!(pair_key(u32::MAX, u32::MAX), u64::MAX);
+        assert_ne!(pair_key(2, 3), pair_key(3, 2));
     }
 }

@@ -99,7 +99,7 @@ impl CliqueEngine {
     }
 
     /// Opens the next synchronous round for messages of type `M`.
-    pub fn begin_round<M>(&mut self) -> CliqueRound<'_, M> {
+    pub fn begin_round<M: Send + 'static>(&mut self) -> CliqueRound<'_, M> {
         Round::begin(&mut self.core, CliqueTransport { n: self.n })
     }
 
@@ -164,8 +164,8 @@ mod tests {
             .expect("send fits the per-pair budget");
         r.send(NodeId::new(2), NodeId::new(3), 8, 2)
             .expect("send fits the per-pair budget");
-        // Out of key order: forces the probe-table fallback, which must
-        // still see the earlier (0, 1) tally.
+        // Out of key order: the dense per-pair load word must still hold
+        // the earlier (0, 1) tally.
         r.send(NodeId::new(0), NodeId::new(1), 8, 3)
             .expect("send fits the per-pair budget");
         let err = r.send(NodeId::new(0), NodeId::new(1), 1, 4).unwrap_err();

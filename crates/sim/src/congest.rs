@@ -90,7 +90,7 @@ impl<'g> CongestEngine<'g> {
     }
 
     /// Opens the next synchronous round for messages of type `M`.
-    pub fn begin_round<M>(&mut self) -> CongestRound<'_, 'g, M> {
+    pub fn begin_round<M: Send + 'static>(&mut self) -> CongestRound<'_, 'g, M> {
         Round::begin(&mut self.core, CongestTransport { graph: self.graph })
     }
 

@@ -153,7 +153,8 @@ pub fn drive_with_checkpoints<E: Execution>(
     let mut steps: u64 = 0;
     // One buffer recycled across checkpoints: snapshots at successive
     // boundaries have near-identical sizes, so after the first checkpoint
-    // the encode is allocation-free.
+    // the encode is allocation-free — the same steady-state discipline the
+    // round core applies to its own buffers (see crates/sim/src/pool.rs).
     let mut buf: Vec<u8> = Vec::new();
     loop {
         if let Status::Done(outcome) = exec.step() {

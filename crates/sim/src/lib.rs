@@ -55,6 +55,7 @@ pub mod congest;
 pub mod driver;
 pub mod metrics;
 pub mod par_nodes;
+pub mod pool;
 pub mod rng;
 pub mod routing;
 pub mod runtime;
@@ -64,5 +65,5 @@ pub use driver::{drive, drive_observed, drive_with_checkpoints, Execution, Statu
 pub use metrics::{BandwidthError, RoundLedger};
 pub use par_nodes::par_map_nodes;
 pub use rng::SharedRandomness;
-pub use runtime::{RoundEvent, RoundObserver, SharedObserver};
+pub use runtime::{Inboxes, RoundEvent, RoundObserver, SharedObserver};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};

@@ -120,6 +120,13 @@ impl RoundLedger {
         bump(&mut self.violations, 1);
     }
 
+    /// Records `n` bandwidth violations in one call — the bulk counterpart
+    /// of [`RoundLedger::charge_violation`] for rounds that batch their
+    /// ledger charges and flush once at close.
+    pub fn charge_violations(&mut self, n: u64) {
+        bump(&mut self.violations, n);
+    }
+
     /// Adds every counter of `other` into `self` (phases are appended).
     pub fn merge(&mut self, other: &RoundLedger) {
         bump(&mut self.rounds, other.rounds);

@@ -9,11 +9,27 @@
 #
 # BENCH_SAMPLES controls harness sample counts; SAMPLES (default 3) the
 # end-to-end repetitions.
+#
+# `bench.sh --check` is the regression gate: it reruns the engines bench
+# into a scratch file and fails if any `clique_all_to_all_round` median is
+# more than 25% slower than the pinned results/bench_engines.json (see
+# crates/bench/src/regress.rs). Opt into it from CI via BENCH_CHECK=1
+# scripts/tier1.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
 
 SAMPLES="${SAMPLES:-3}"
+
+if [ "${1:-}" = "--check" ]; then
+  cargo build --release --workspace
+  fresh="$(mktemp)"
+  trap 'rm -f "$fresh"' EXIT
+  BENCH_JSON="$fresh" cargo bench -p cc-mis-bench --bench engines
+  cargo run -q --release -p cc-mis-bench --bin bench_check -- \
+    results/bench_engines.json "$fresh" clique_all_to_all_round 25
+  exit 0
+fi
 
 cargo build --release --workspace
 

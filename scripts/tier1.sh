@@ -10,4 +10,13 @@ cargo build --workspace --all-targets
 cargo test --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo run -q -p cc-mis-conform -- --workspace
+
+# Opt-in perf gate: BENCH_CHECK=1 reruns the engines bench and fails if any
+# clique_all_to_all_round median regresses >25% vs the pinned
+# results/bench_engines.json (kept opt-in: wall-clock gates are too noisy
+# for shared CI runners, but useful before re-pinning).
+if [ "${BENCH_CHECK:-0}" = "1" ]; then
+  scripts/bench.sh --check
+fi
+
 echo "tier1: OK"
