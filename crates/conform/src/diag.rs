@@ -32,16 +32,24 @@ impl Finding {
     }
 
     /// Severity class: pragma violations (`P1`) are errors — a broken
-    /// escape hatch may be silencing anything — and every rule finding is
-    /// a warning (the CI gate still fails on warnings; the split feeds the
+    /// escape hatch may be silencing anything — as are pool leaks (`R16`)
+    /// and snapshot-parity breaks (`R17`), which corrupt state rather than
+    /// merely drifting from the model. Every other rule finding is a
+    /// warning (the CI gate still fails on warnings; the split feeds the
     /// exit code and SARIF levels).
     pub fn severity(&self) -> &'static str {
-        if self.rule == "P1" {
-            "error"
-        } else {
-            "warning"
+        match self.rule {
+            "P1" | "R16" | "R17" => "error",
+            _ => "warning",
         }
     }
+}
+
+/// The normalized baseline key of a finding: rule, path, and message —
+/// deliberately no line number, so unrelated edits that shift lines do not
+/// churn a committed baseline. See [`crate::baseline`].
+pub fn baseline_key(f: &Finding) -> String {
+    format!("{}\t{}\t{}", f.rule, f.path, f.message)
 }
 
 /// Sorts findings into the stable output order (path, line, rule).

@@ -27,7 +27,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod callgraph;
+pub mod dataflow;
 pub mod diag;
 pub mod pragma;
 pub mod rules;
@@ -50,16 +52,80 @@ pub struct Input {
     pub text: String,
 }
 
+/// One workspace file, lexed and parsed exactly once. Every rule layer —
+/// lexical, structural, dataflow — consumes this shared index; the
+/// single-parse contract is pinned by a test over
+/// [`syntax::parse_invocations`].
+#[derive(Debug)]
+pub struct FileIndex {
+    /// Line-scanner output: code/comment channels, test marks.
+    pub source: scanner::SourceFile,
+    /// Token-tree output: roots and fn spans.
+    pub syntax: syntax::FileSyntax,
+}
+
+/// Lexes and parses one `.rs` input into its shared [`FileIndex`].
+pub fn index_str(path: &str, text: &str) -> FileIndex {
+    let (effective, lines, whole_file_test) = scanner::lex_parts(path, text);
+    let (source, syntax) = syntax::index_file(effective, lines, whole_file_test);
+    FileIndex { source, syntax }
+}
+
+/// Per-phase wall-clock of one [`check_with`] run, filled when the CLI is
+/// invoked with `--timings`.
+#[derive(Debug, Default, Clone)]
+pub struct Timings {
+    /// Number of `.rs` files indexed.
+    pub files: usize,
+    /// Lex + the single parse into the shared [`FileIndex`]es.
+    pub index_ms: u128,
+    /// Pragma collection plus the per-line lexical rules (R1–R9, R14).
+    pub lexical_ms: u128,
+    /// Call-graph build plus the structural rules (R10–R15).
+    pub structural_ms: u128,
+    /// The dataflow rules (R16–R19).
+    pub dataflow_ms: u128,
+}
+
+impl Timings {
+    /// Stable multi-line rendering for stderr.
+    pub fn render(&self) -> String {
+        format!(
+            "timings: {} file(s)\n  index (lex + parse) {:>5} ms\n  lexical rules       {:>5} ms\n  structural rules    {:>5} ms\n  dataflow rules      {:>5} ms",
+            self.files, self.index_ms, self.lexical_ms, self.structural_ms, self.dataflow_ms
+        )
+    }
+}
+
+/// The linter's only clock: wall time for `--timings` diagnostics.
+fn clock() -> std::time::Instant {
+    // conform: allow(R3) -- linter --timings wall clock; diagnostics only, never simulation state
+    std::time::Instant::now()
+}
+
 /// Checks a set of inputs (`.rs` sources and `Cargo.toml` manifests) and
 /// returns the sorted findings. This is the engine behind the CLI; tests
 /// drive it directly with fixture inputs.
 pub fn check(inputs: &[Input]) -> Vec<Finding> {
+    check_with(inputs, None)
+}
+
+/// [`check`] with optional per-phase timing collection.
+pub fn check_with(inputs: &[Input], mut timings: Option<&mut Timings>) -> Vec<Finding> {
     let mut findings = Vec::new();
-    let sources: Vec<scanner::SourceFile> = inputs
-        .iter()
-        .filter(|i| i.path.ends_with(".rs"))
-        .map(|i| scanner::scan_str(&i.path, &i.text))
-        .collect();
+    let t = clock();
+    let mut sources: Vec<scanner::SourceFile> = Vec::new();
+    let mut syntaxes: Vec<syntax::FileSyntax> = Vec::new();
+    for input in inputs.iter().filter(|i| i.path.ends_with(".rs")) {
+        let ix = index_str(&input.path, &input.text);
+        sources.push(ix.source);
+        syntaxes.push(ix.syntax);
+    }
+    if let Some(tm) = timings.as_deref_mut() {
+        tm.files = sources.len();
+        tm.index_ms = t.elapsed().as_millis();
+    }
+    let t = clock();
     // Pragmas for every file up front: the structural rules need them
     // before the per-file filter (a justified allow(R10) on a charge site
     // must stop the interprocedural propagation, not just hide one line).
@@ -72,9 +138,20 @@ pub fn check(inputs: &[Input]) -> Vec<Finding> {
     for file in &sources {
         rules::check_file(file, &counters, &mut rule_findings);
     }
-    let syntaxes: Vec<syntax::FileSyntax> = sources.iter().map(syntax::parse_file).collect();
+    if let Some(tm) = timings.as_deref_mut() {
+        tm.lexical_ms = t.elapsed().as_millis();
+    }
+    let t = clock();
     let graph = callgraph::build(&syntaxes);
     rules::check_structural(&sources, &syntaxes, &graph, &pragmas, &mut rule_findings);
+    if let Some(tm) = timings.as_deref_mut() {
+        tm.structural_ms = t.elapsed().as_millis();
+    }
+    let t = clock();
+    dataflow::check(&sources, &syntaxes, &graph, &mut rule_findings);
+    if let Some(tm) = timings {
+        tm.dataflow_ms = t.elapsed().as_millis();
+    }
     rule_findings.retain(|f| {
         let Some(fi) = sources.iter().position(|s| s.effective == f.path) else {
             return true;
@@ -93,6 +170,14 @@ pub fn check(inputs: &[Input]) -> Vec<Finding> {
 /// `Cargo.toml`. Skips `target/`, `.git/`, `results/`, and the linter's own
 /// `tests/fixtures/` trees (fixtures deliberately violate rules).
 pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    check_workspace_with(root, None)
+}
+
+/// [`check_workspace`] with optional per-phase timing collection.
+pub fn check_workspace_with(
+    root: &Path,
+    timings: Option<&mut Timings>,
+) -> io::Result<Vec<Finding>> {
     let mut paths = Vec::new();
     collect_paths(root, root, &mut paths)?;
     paths.sort();
@@ -101,7 +186,7 @@ pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         let text = fs::read_to_string(root.join(&rel))?;
         inputs.push(Input { path: rel, text });
     }
-    Ok(check(&inputs))
+    Ok(check_with(&inputs, timings))
 }
 
 fn collect_paths(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
@@ -183,6 +268,52 @@ mod tests {
         let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
         assert!(rules.contains(&"P1"), "{findings:?}");
         assert!(rules.contains(&"R1"), "{findings:?}");
+    }
+
+    #[test]
+    fn each_source_file_is_parsed_exactly_once_per_check() {
+        // The shared FileIndex feeds the lexical, structural, and dataflow
+        // layers from ONE tokenize+parse per file. The counter is
+        // thread-local, so this delta is race-free under the parallel test
+        // runner.
+        let inputs = [
+            rs("crates/core/src/a.rs", "//! A.\npub fn f() -> u32 { 1 }\n"),
+            rs(
+                "crates/sim/src/b.rs",
+                "//! B.\npub fn g(x: u32) -> u32 { x + 1 }\n",
+            ),
+            Input {
+                path: "crates/demo/Cargo.toml".to_string(),
+                text: "[package]\nname = \"demo\"\n".to_string(),
+            },
+        ];
+        let before = syntax::parse_invocations();
+        let findings = check(&inputs);
+        let after = syntax::parse_invocations();
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(
+            after - before,
+            2,
+            "expected exactly one parse per .rs input"
+        );
+    }
+
+    #[test]
+    fn timings_cover_every_phase() {
+        let mut t = Timings::default();
+        let findings = check_with(
+            &[rs(
+                "crates/core/src/x.rs",
+                "//! Docs.\npub fn f() -> u32 { 1 }\n",
+            )],
+            Some(&mut t),
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(t.files, 1);
+        let rendered = t.render();
+        for phase in ["index", "lexical", "structural", "dataflow"] {
+            assert!(rendered.contains(phase), "{rendered}");
+        }
     }
 
     #[test]

@@ -4,24 +4,31 @@
 //! cc-mis-conform --workspace            # lint the whole workspace (default)
 //! cc-mis-conform --workspace --json     # machine-readable findings
 //! cc-mis-conform --sarif out.sarif      # also write a SARIF 2.1.0 log
+//! cc-mis-conform --baseline base.txt    # gate on *new* findings only
+//! cc-mis-conform --timings              # per-phase wall clock on stderr
 //! cc-mis-conform --list-rules           # print the rule set
 //! cc-mis-conform --explain R10          # contract, rationale, fix recipe
 //! cc-mis-conform --root DIR [PATH...]   # lint specific files/dirs under DIR
 //! ```
 //!
-//! Exits 0 on a conform-clean tree, 1 on rule findings, 3 if any finding
-//! is a `P1` pragma violation (the escape hatch itself is broken — highest
-//! severity), 2 on usage or I/O errors. Diagnostics are stable
-//! `file:line rule-id message` lines.
+//! Exits 0 on a conform-clean tree, 1 on rule findings, 3 on any
+//! error-severity finding (`P1` broken escape hatch, `R16` pool leak,
+//! `R17` snapshot-parity break), 2 on usage or I/O errors. Diagnostics are
+//! stable `file:line rule-id message` lines. With `--baseline PATH`, the
+//! first run writes a normalized snapshot of current findings and later
+//! runs subtract it — error-severity findings always surface.
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use cc_mis_conform::{check, check_workspace, diag, find_workspace_root, rules, Input};
+use cc_mis_conform::{
+    baseline, check_with, check_workspace_with, diag, find_workspace_root, rules, Input, Timings,
+};
 
-const USAGE: &str = "usage: cc-mis-conform [--workspace] [--json] [--sarif PATH] [--list-rules] \
+const USAGE: &str = "usage: cc-mis-conform [--workspace] [--json] [--sarif PATH] \
+                     [--baseline PATH] [--timings] [--list-rules] \
                      [--explain RULE] [--root DIR] [PATH...]";
 
 fn main() -> ExitCode {
@@ -30,6 +37,8 @@ fn main() -> ExitCode {
     let mut list_rules = false;
     let mut explain: Option<String> = None;
     let mut sarif: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut timings = false;
     let mut root: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
@@ -37,6 +46,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--workspace" => {}
             "--json" => json = true,
+            "--timings" => timings = true,
             "--list-rules" => list_rules = true,
             "--explain" => match it.next() {
                 Some(rule) => explain = Some(rule.clone()),
@@ -45,6 +55,10 @@ fn main() -> ExitCode {
             "--sarif" => match it.next() {
                 Some(path) => sarif = Some(PathBuf::from(path)),
                 None => return usage_error("--sarif needs an output path"),
+            },
+            "--baseline" => match it.next() {
+                Some(path) => baseline_path = Some(PathBuf::from(path)),
+                None => return usage_error("--baseline needs a snapshot path"),
             },
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
@@ -82,7 +96,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let findings = if paths.is_empty() {
+    let mut phase_times = Timings::default();
+    let mut findings = if paths.is_empty() {
         let start = root.clone().unwrap_or_else(|| PathBuf::from("."));
         let Some(ws) = find_workspace_root(&start) else {
             eprintln!(
@@ -91,7 +106,7 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(2);
         };
-        match check_workspace(&ws) {
+        match check_workspace_with(&ws, timings.then_some(&mut phase_times)) {
             Ok(findings) => findings,
             Err(err) => {
                 eprintln!("error: {err}");
@@ -101,13 +116,35 @@ fn main() -> ExitCode {
     } else {
         let base = root.unwrap_or_else(|| PathBuf::from("."));
         match read_inputs(&base, &paths) {
-            Ok(inputs) => check(&inputs),
+            Ok(inputs) => check_with(&inputs, timings.then_some(&mut phase_times)),
             Err(err) => {
                 eprintln!("error: {err}");
                 return ExitCode::from(2);
             }
         }
     };
+    if timings {
+        eprintln!("{}", phase_times.render());
+    }
+
+    if let Some(path) = baseline_path {
+        match baseline::apply(&path, &mut findings) {
+            Ok(out) if out.wrote => eprintln!(
+                "conform: baseline written to {} ({} finding(s) recorded)",
+                path.display(),
+                out.suppressed
+            ),
+            Ok(out) => eprintln!(
+                "conform: baseline {} suppressed {} known finding(s)",
+                path.display(),
+                out.suppressed
+            ),
+            Err(err) => {
+                eprintln!("error: baseline {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if let Some(path) = sarif {
         if let Err(err) = std::fs::write(&path, diag::to_sarif(&findings)) {
@@ -127,8 +164,9 @@ fn main() -> ExitCode {
             eprintln!("conform: {} finding(s)", findings.len());
         }
     }
-    // Severity-aware exit: P1 (a broken escape hatch) outranks ordinary
-    // findings so CI can distinguish "fix the code" from "fix the pragma".
+    // Severity-aware exit: error findings (P1 broken escape hatch, R16
+    // pool leak, R17 snapshot-parity break) outrank ordinary findings so
+    // CI can distinguish "state corruption" from "style drift".
     if findings.iter().any(|f| f.severity() == "error") {
         ExitCode::from(3)
     } else if findings.is_empty() {

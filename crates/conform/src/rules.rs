@@ -218,6 +218,67 @@ pub const RULES: &[RuleInfo] = &[
               observer-gated diagnostics helper)",
     },
     RuleInfo {
+        id: "R16",
+        summary: "pooled buffers are paired: every `RoundBuffers::take_*` / \
+                  `take_arena_parts` is retired (or moved out) on every exit path",
+        contract: "in crates/core and crates/sim non-test code, a binding holding the \
+                   result of `take_dense` / `take_sparse` / `take_outbox` / \
+                   `take_arena_parts` is passed to the matching `retire_*` (or `retire`), \
+                   returned, stored into a struct/field, before any early `return` or \
+                   `?` exit and before the function ends",
+        rationale: "a leaked pool buffer silently degrades PR 6's allocation-free \
+                    steady state back to per-round allocation — the runs stay correct, \
+                    so nothing but this rule would ever notice",
+        fix: "retire the buffer on the early-exit path (or restructure so ownership \
+              moves into the returned value), or carry a justified allow(R16) if the \
+              leak is deliberate (e.g. teardown)",
+    },
+    RuleInfo {
+        id: "R17",
+        summary: "snapshot parity: each `impl Execution` writes and reads the same \
+                  field sequence (names, widths, order) in `save` and `restore`",
+        contract: "for every `impl Execution for T`, the ordered sequence of \
+                   `SnapshotWriter` calls in `save` structurally matches the ordered \
+                   `read_*` / `expect_*` calls in `restore` — same widths in the same \
+                   order, loops and conditionals mirrored, and `expect_*` identity \
+                   expressions equal to what `save` wrote",
+        rationale: "checkpoint-format drift is the worst failure mode of PR 5: a \
+                    same-width reorder restores without any `SnapshotError` and \
+                    silently diverges from the straight run, voiding the \
+                    resume-equivalence guarantee",
+        fix: "make `restore` read exactly what `save` writes, in order; grow the \
+              format only by appending fields to both sides",
+    },
+    RuleInfo {
+        id: "R18",
+        summary: "observers are diagnostics-only: `RoundObserver` impls never reach \
+                  ledger charging or round mutation",
+        contract: "no method of a `RoundObserver` impl reaches, through the call \
+                   graph, a `.charge_*` call or a `Round`/`RoundCore` mutator in \
+                   crates/sim/src/runtime.rs",
+        rationale: "the traced and untraced runs are pinned to identical ledgers; an \
+                    observer that charges or mutates rounds would make `--trace` \
+                    perturb the golden numbers it exists to explain",
+        fix: "keep observers to recording (own fields, sinks); move any accounting \
+              into the round core where R9/R10 govern it",
+    },
+    RuleInfo {
+        id: "R19",
+        summary: "shard isolation: closures given to the `par_nodes` helpers index \
+                  captured state only through their shard arguments",
+        contract: "a closure passed to `par_zip_shards` / `par_scatter_shards` indexes \
+                   mutable state only via its shard-slice parameters (any captured \
+                   indexing is flagged); a `par_map_nodes` closure may read captured \
+                   slices but not index-write them",
+        rationale: "the deterministic thread pool only guarantees bit-identical runs \
+                    because shards own disjoint slices; one captured `&mut` index \
+                    crossing a shard boundary is a data race the tests can't reliably \
+                    catch",
+        fix: "pass the state in as a sharded argument, or carry a justified \
+              allow(R19) citing the disjointness argument (as the audited scatter \
+              core does)",
+    },
+    RuleInfo {
         id: "P1",
         summary: "conform pragmas must be well-formed, name known rules, and carry a \
                   justification",
@@ -234,7 +295,7 @@ pub fn rule_exists(id: &str) -> bool {
     RULES.iter().any(|r| r.id == id)
 }
 
-fn in_sim_core(path: &str) -> bool {
+pub(crate) fn in_sim_core(path: &str) -> bool {
     path.starts_with("crates/core/src") || path.starts_with("crates/sim/src")
 }
 

@@ -60,6 +60,17 @@ pub fn scan_str(effective_path: &str, text: &str) -> SourceFile {
     SourceFile { effective, lines }
 }
 
+/// Lexes `text` *without* test marking: the single-parse indexer
+/// ([`crate::index_str`]) applies structural `cfg(test)` spans itself from
+/// the one shared parse. Returns the effective path, the lexed lines, and
+/// whether the whole file is a test target.
+pub(crate) fn lex_parts(effective_path: &str, text: &str) -> (String, Vec<Line>, bool) {
+    let effective = fixture_override(text).unwrap_or_else(|| effective_path.to_string());
+    let lines = lex(text);
+    let whole_file_test = test_path(&effective);
+    (effective, lines, whole_file_test)
+}
+
 /// Looks for `conform-fixture: <path>` in the first five lines.
 fn fixture_override(text: &str) -> Option<String> {
     for line in text.lines().take(5) {

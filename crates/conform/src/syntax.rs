@@ -197,9 +197,22 @@ pub fn tokenize(lines: &[Line]) -> Vec<Token> {
     out
 }
 
+thread_local! {
+    static PARSE_CALLS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`parse`] invocations on the current thread. The single-parse
+/// perf contract — [`crate::check`] lexes and parses each file exactly once
+/// into the shared [`crate::FileIndex`] — is pinned by a test over this
+/// counter.
+pub fn parse_invocations() -> usize {
+    PARSE_CALLS.with(std::cell::Cell::get)
+}
+
 /// Parses tokens into balanced trees. Tolerant of malformed input: stray
 /// closers are dropped and unclosed groups are closed at end of input.
 pub fn parse(tokens: Vec<Token>) -> Vec<Tree> {
+    PARSE_CALLS.with(|c| c.set(c.get() + 1));
     struct OpenGroup {
         delim: char,
         open_line: usize,
@@ -634,6 +647,51 @@ pub fn parse_file(file: &SourceFile) -> FileSyntax {
         roots,
         fns,
     }
+}
+
+/// Lexed-lines → (test-marked [`SourceFile`], [`FileSyntax`]) in a single
+/// tokenize+parse — the engine behind [`crate::index_str`]. Equivalent to
+/// `scan_str` followed by `parse_file`, which cost two parses per file.
+pub(crate) fn index_file(
+    effective: String,
+    mut lines: Vec<Line>,
+    whole_file_test: bool,
+) -> (SourceFile, FileSyntax) {
+    if whole_file_test {
+        for line in &mut lines {
+            line.in_test = true;
+        }
+    }
+    let roots = parse(tokenize(&lines));
+    let mut fns = Vec::new();
+    let mut spans = Vec::new();
+    let ctx = ItemCtx {
+        self_type: None,
+        in_test: false,
+    };
+    walk_items(&roots, &ctx, &mut Vec::new(), &mut fns, &mut spans);
+    let n = lines.len();
+    for (start, end) in spans {
+        for line in lines[start.saturating_sub(1)..end.min(n)].iter_mut() {
+            line.in_test = true;
+        }
+    }
+    for f in &mut fns {
+        // Whole-file test targets: every line is marked.
+        if lines.get(f.start_line - 1).is_some_and(|l| l.in_test) {
+            f.is_test = true;
+        }
+    }
+    let source = SourceFile {
+        effective: effective.clone(),
+        lines,
+    };
+    let syntax = FileSyntax {
+        effective,
+        roots,
+        fns,
+    };
+    (source, syntax)
 }
 
 /// Marks lines inside structurally-`#[cfg(test)]` items. Called by the

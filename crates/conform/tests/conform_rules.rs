@@ -218,6 +218,92 @@ fn r15_allocation_in_round_hot_paths() {
     }
 }
 
+#[test]
+fn r16_pool_take_without_retire() {
+    assert_fires_and_clean("R16", "r16_fires.rs", "r16_clean.rs");
+    let firing = check(&[fixture("r16_fires.rs")]);
+    let r16: Vec<&Finding> = firing.iter().filter(|f| f.rule == "R16").collect();
+    // One fall-through leak, one early `?` exit with an open obligation.
+    assert_eq!(r16.len(), 2, "{firing:?}");
+    assert!(
+        r16.iter()
+            .any(|f| f.message.contains("never retired") && f.message.contains("take_dense")),
+        "{firing:?}"
+    );
+    assert!(
+        r16.iter()
+            .any(|f| f.message.contains("exits via `?`") && f.message.contains("take_sparse")),
+        "{firing:?}"
+    );
+    // Pool leaks are state corruption: error severity, exit-3 class.
+    assert!(r16.iter().all(|f| f.severity() == "error"), "{firing:?}");
+}
+
+#[test]
+fn r17_save_restore_parity() {
+    assert_fires_and_clean("R17", "r17_fires.rs", "r17_clean.rs");
+    let firing = check(&[fixture("r17_fires.rs")]);
+    let r17: Vec<&Finding> = firing.iter().filter(|f| f.rule == "R17").collect();
+    assert_eq!(r17.len(), 1, "first divergence only: {firing:?}");
+    assert!(
+        r17[0].message.contains("impl Execution for DemoExec")
+            && r17[0].message.contains("write_u64")
+            && r17[0].message.contains("read_bool"),
+        "{firing:?}"
+    );
+    assert_eq!(r17[0].severity(), "error", "{firing:?}");
+}
+
+#[test]
+fn r18_observer_purity() {
+    assert_fires_and_clean("R18", "r18_fires.rs", "r18_clean.rs");
+    let firing = check(&[fixture("r18_fires.rs")]);
+    assert!(
+        firing.iter().any(|f| f.rule == "R18"
+            && f.message.contains("`on_round_end`")
+            && f.message.contains("charge_bits")),
+        "{firing:?}"
+    );
+}
+
+#[test]
+fn r19_shard_closure_isolation() {
+    assert_fires_and_clean("R19", "r19_fires.rs", "r19_clean.rs");
+    let firing = check(&[fixture("r19_fires.rs")]);
+    let r19: Vec<&Finding> = firing.iter().filter(|f| f.rule == "R19").collect();
+    // One aggregated finding per offending closure: the scatter closure
+    // (two captured roots) and the map closure (one index-write).
+    assert_eq!(r19.len(), 2, "{firing:?}");
+    assert!(
+        r19.iter().any(|f| f.message.contains("cuts, totals")),
+        "offending roots are aggregated and sorted: {firing:?}"
+    );
+    assert!(
+        r19.iter()
+            .any(|f| f.message.contains("index-writes captured state")),
+        "{firing:?}"
+    );
+}
+
+#[test]
+fn r19_justified_pragma_clears_an_audited_closure() {
+    // The live scatter core carries exactly this shape: a justified
+    // allow(R19) on the offense line inside the closure.
+    let src = "// conform-fixture: crates/sim/src/scatter_demo.rs\n\
+               pub fn scatter(cuts: &[usize], chunks: &mut [Chunk]) {\n\
+                   par_scatter_shards(chunks, |shard, chunk| {\n\
+                       // conform: allow(R19) -- shard ranges are disjoint by construction\n\
+                       let base = cuts[shard];\n\
+                       chunk.fill(base);\n\
+                   });\n\
+               }\n";
+    let findings = check(&[Input {
+        path: "crates/conform/tests/fixtures/inline.rs".to_string(),
+        text: src.to_string(),
+    }]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
 /// Maps a rule id to its (firing, clean) fixture file names.
 fn fixture_pair(id: &str) -> (String, String) {
     match id {
@@ -257,6 +343,69 @@ fn every_rule_has_a_firing_and_a_clean_fixture() {
             "{clean} should be clean, got {clean_findings:?}"
         );
     }
+}
+
+#[test]
+fn every_rule_has_explain_text_and_the_id_set_is_complete() {
+    // --explain prints summary/contract/rationale/fix verbatim; none may be
+    // empty, and the rule set itself is pinned so a dropped entry fails
+    // loudly rather than silently losing coverage.
+    let ids: Vec<&str> = cc_mis_conform::rules::RULES.iter().map(|r| r.id).collect();
+    let expected: Vec<String> = (1..=19)
+        .map(|n| format!("R{n}"))
+        .chain(std::iter::once("P1".to_string()))
+        .collect();
+    assert_eq!(ids, expected, "rule registry drifted");
+    for rule in cc_mis_conform::rules::RULES {
+        for (what, text) in [
+            ("summary", rule.summary),
+            ("contract", rule.contract),
+            ("rationale", rule.rationale),
+            ("fix", rule.fix),
+        ] {
+            assert!(
+                !text.trim().is_empty(),
+                "{} has an empty --explain {what}",
+                rule.id
+            );
+        }
+    }
+}
+
+#[test]
+fn dataflow_sarif_snapshot_is_frozen() {
+    // Golden SARIF over the four dataflow firing fixtures, checked as one
+    // input set. Pins rule metadata, severity levels (R16/R17 error,
+    // R18/R19 warning), locations, and message wording; regenerate with
+    //   cargo run -p cc-mis-conform -- --root crates/conform/tests/fixtures \
+    //     --sarif crates/conform/tests/fixtures/dataflow_golden.sarif \
+    //     r16_fires.rs r17_fires.rs r18_fires.rs r19_fires.rs
+    // and review the diff before committing.
+    let findings = check(&[
+        fixture("r16_fires.rs"),
+        fixture("r17_fires.rs"),
+        fixture("r18_fires.rs"),
+        fixture("r19_fires.rs"),
+    ]);
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    for id in ["R16", "R17", "R18", "R19"] {
+        assert!(
+            rules.contains(&id),
+            "mixed run must fire {id}: {findings:?}"
+        );
+    }
+    let sarif = cc_mis_conform::diag::to_sarif(&findings);
+    let golden_path = format!(
+        "{}/tests/fixtures/dataflow_golden.sarif",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("golden SARIF must be committed at {golden_path}: {e}"));
+    assert_eq!(
+        sarif.trim_end(),
+        golden.trim_end(),
+        "SARIF output drifted from the committed golden snapshot"
+    );
 }
 
 #[test]

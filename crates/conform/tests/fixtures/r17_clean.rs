@@ -1,0 +1,35 @@
+// conform-fixture: crates/core/src/exec_demo.rs
+//! R17 clean fixture: the restore sequence mirrors the save sequence —
+//! identity field first (checked via `expect_u64`), then the scalar state,
+//! then a length-prefixed loop of per-item words.
+
+pub struct DemoExec {
+    seed: u64,
+    step: u64,
+    items: Vec<u64>,
+}
+
+impl Execution for DemoExec {
+    fn step(&mut self, driver: &mut Driver) -> StepOutcome {
+        StepOutcome::Continue
+    }
+
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.seed);
+        w.write_u64(self.step);
+        w.write_usize(self.items.len());
+        for v in &self.items {
+            w.write_u64(*v);
+        }
+    }
+
+    fn restore(&mut self, r: &mut SnapshotCursor) -> Result<(), SnapshotError> {
+        r.expect_u64("seed", self.seed)?;
+        self.step = r.read_u64()?;
+        let count = r.read_usize()?;
+        for _ in 0..count {
+            self.items.push(r.read_u64()?);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,26 @@
+// conform-fixture: crates/core/src/exec_demo.rs
+//! R17 firing fixture: `save` writes a u64 then a bool, but `restore`
+//! reads them back in the opposite order — a resumed run would decode the
+//! step counter out of the bool byte.
+
+pub struct DemoExec {
+    step: u64,
+    done: bool,
+}
+
+impl Execution for DemoExec {
+    fn step(&mut self, driver: &mut Driver) -> StepOutcome {
+        StepOutcome::Continue
+    }
+
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.step);
+        w.write_bool(self.done);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotCursor) -> Result<(), SnapshotError> {
+        self.done = r.read_bool()?;
+        self.step = r.read_u64()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,26 @@
+// conform-fixture: crates/sim/src/trace_demo.rs
+//! R18 clean fixture: an observer that only records what it is shown —
+//! no ledger charging, no round mutation, directly or through helpers.
+
+pub struct QuietObserver {
+    rounds_seen: u64,
+    peak_bits: u64,
+}
+
+impl QuietObserver {
+    fn note(&mut self, bits: u64) {
+        if bits > self.peak_bits {
+            self.peak_bits = bits;
+        }
+    }
+}
+
+impl RoundObserver for QuietObserver {
+    fn on_round_end(&mut self, summary: &RoundSummary) {
+        self.rounds_seen = self
+            .rounds_seen
+            .checked_add(1)
+            .expect("round count fits u64");
+        self.note(summary.bits_this_round);
+    }
+}

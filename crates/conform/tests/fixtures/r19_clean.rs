@@ -1,0 +1,19 @@
+// conform-fixture: crates/sim/src/scatter_demo.rs
+//! R19 clean fixture: shard closures touch mutable state only through
+//! their shard-provided slice arguments; the per-node map closure reads
+//! captured slices (allowed) but never index-writes them.
+
+pub fn scatter(chunks: &mut [Chunk]) {
+    par_scatter_shards(chunks, |shard, chunk| {
+        let width = chunk.len();
+        for i in 0..width {
+            chunk[i] = shard;
+        }
+    });
+}
+
+pub fn gather(totals: &mut [u64], cuts: &[usize]) {
+    par_map_nodes(totals, |node, slot| {
+        *slot = cuts[node];
+    });
+}

@@ -1,0 +1,19 @@
+// conform-fixture: crates/sim/src/scatter_demo.rs
+//! R19 firing fixture: a shard closure reaches around its shard-provided
+//! slice arguments and indexes captured state directly — disjointness is
+//! now an unchecked claim, and a cut-table bug becomes a data race.
+
+pub fn scatter(cuts: &[usize], totals: &[u64], chunks: &mut [Chunk]) {
+    par_scatter_shards(chunks, |shard, chunk| {
+        let base = cuts[shard];
+        for slot in chunk.iter_mut() {
+            *slot = totals[base];
+        }
+    });
+}
+
+pub fn bump(counts: &mut [u64], hits: &[usize]) {
+    par_map_nodes(hits, |node, hit| {
+        counts[*hit] += node as u64;
+    });
+}

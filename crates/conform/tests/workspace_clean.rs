@@ -142,3 +142,76 @@ fn cli_p1_findings_exit_three() {
     // The unjustified pragma is a P1 ("error"), which outranks plain findings.
     assert_eq!(out.status.code(), Some(3), "{out:?}");
 }
+
+#[test]
+fn cli_r16_pool_leak_exits_three() {
+    // R16 findings are error severity (state corruption), same exit class
+    // as a broken pragma.
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/r16_fires.rs");
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .arg(&fixture)
+        .output()
+        .expect("linter binary runs");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+}
+
+#[test]
+fn cli_timings_render_per_phase_wall_clock() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/r1_clean.rs");
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .arg("--timings")
+        .arg(&fixture)
+        .output()
+        .expect("linter binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for phase in [
+        "timings: 1 file(s)",
+        "index",
+        "lexical",
+        "structural",
+        "dataflow",
+    ] {
+        assert!(stderr.contains(phase), "missing {phase} in:\n{stderr}");
+    }
+}
+
+#[test]
+fn cli_baseline_gates_on_new_findings_only() {
+    let dir = std::env::temp_dir().join(format!("conform-baseline-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir creates");
+    let baseline = dir.join("baseline.txt");
+    let r5 = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/r5_fires.rs");
+    let r1 = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/r1_fires.rs");
+
+    // First run writes the snapshot and exits clean (warnings baselined).
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg(&r5)
+        .output()
+        .expect("linter binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("baseline written"), "stderr:\n{stderr}");
+
+    // Same findings again: still clean.
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg(&r5)
+        .output()
+        .expect("linter binary runs");
+    assert!(out.status.success(), "{out:?}");
+
+    // A finding the baseline has never seen still fails the gate.
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg(&r1)
+        .output()
+        .expect("linter binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

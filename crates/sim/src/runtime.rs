@@ -578,6 +578,7 @@ impl<'a, T: Transport, M: Send + 'static> Round<'a, T, M> {
                 &mut cursors,
                 &dst_cuts,
                 |shard, arena_chunk, cursor_chunk| {
+                    // conform: allow(R19) -- read-only cut tables: each shard reads its own [shard, shard+1] window of dst_cuts/arena_cuts, built above from monotone offsets, so the windows are disjoint by construction
                     let d_lo = dst_cuts[shard];
                     let d_hi = dst_cuts[shard + 1];
                     let base = arena_cuts[shard];
