@@ -1,0 +1,104 @@
+//! Throughput of the batch scheduler on a 256-job mixed workload: every
+//! step-driven algorithm over a small graph pool, scheduled unbounded
+//! (pure fan-in overhead) and at quantum 8 (steady preemption: each park
+//! pays a CCMS snapshot, each revive a fresh `make()` plus restore).
+//!
+//! The gap between the two lines is the full cost of preemption at the
+//! default `--quantum`; `scripts/bench.sh --check` gates the quantum-8
+//! line against results/bench_batch_throughput.json.
+
+use cc_mis_bench::harness::Harness;
+use cc_mis_core::beeping_mis::{BeepingExecution, BeepingParams, BeepingRun};
+use cc_mis_core::clique_mis::{CliqueMisExecution, CliqueMisParams, CliqueMisResult};
+use cc_mis_core::ghaffari16::{Ghaffari16CliqueExecution, Ghaffari16Execution, Ghaffari16Params};
+use cc_mis_core::lowdeg::{AutoExecution, Strategy};
+use cc_mis_core::luby::{LubyExecution, LubyParams};
+use cc_mis_core::sparsified::{SparsifiedExecution, SparsifiedParams, SparsifiedRun};
+use cc_mis_core::MisOutcome;
+use cc_mis_graph::{generators, Graph};
+use cc_mis_sim::{BatchScheduler, BoxedExecution, JobSpec, MapOutcome};
+
+const JOBS: usize = 256;
+
+/// One job's factory: algorithm index cycles through the mix, seed varies
+/// per job so no two jobs replay the same coins.
+fn make_exec<'a>(
+    which: usize,
+    graphs: &'a [Graph; 3],
+    seed: u64,
+) -> Box<dyn FnMut() -> BoxedExecution<'a, usize> + 'a> {
+    let g = &graphs[which % graphs.len()];
+    match which % 7 {
+        0 => Box::new(move || {
+            Box::new(MapOutcome::new(
+                LubyExecution::new(g, &LubyParams::for_graph(g), seed),
+                |o: MisOutcome| o.mis.len(),
+            ))
+        }),
+        1 => Box::new(move || {
+            Box::new(MapOutcome::new(
+                Ghaffari16Execution::new(g, &Ghaffari16Params::for_graph(g), seed),
+                |o: MisOutcome| o.mis.len(),
+            ))
+        }),
+        2 => Box::new(move || {
+            Box::new(MapOutcome::new(
+                Ghaffari16CliqueExecution::new(g, &Ghaffari16Params::for_graph(g), seed),
+                |o: MisOutcome| o.mis.len(),
+            ))
+        }),
+        3 => Box::new(move || {
+            Box::new(MapOutcome::new(
+                BeepingExecution::new(g, &BeepingParams::for_graph(g), seed),
+                |r: BeepingRun| r.mis.len(),
+            ))
+        }),
+        4 => Box::new(move || {
+            Box::new(MapOutcome::new(
+                SparsifiedExecution::new(g, &SparsifiedParams::for_graph(g), seed),
+                |r: SparsifiedRun| r.mis.len(),
+            ))
+        }),
+        5 => Box::new(move || {
+            Box::new(MapOutcome::new(
+                CliqueMisExecution::new(g, &CliqueMisParams::default(), seed),
+                |r: CliqueMisResult| r.mis.len(),
+            ))
+        }),
+        _ => Box::new(move || {
+            Box::new(MapOutcome::new(
+                AutoExecution::new(g, seed),
+                |(o, _): (MisOutcome, Strategy)| o.mis.len(),
+            ))
+        }),
+    }
+}
+
+fn run_batch(graphs: &[Graph; 3], quantum: Option<u64>) -> usize {
+    let specs: Vec<JobSpec<'_, usize>> = (0..JOBS)
+        .map(|i| JobSpec::new(format!("job-{i}"), make_exec(i, graphs, 1 + i as u64)))
+        .collect();
+    let scheduler = match quantum {
+        None => BatchScheduler::unbounded(),
+        Some(q) => BatchScheduler::with_quantum(q),
+    };
+    scheduler.run(specs).iter().map(|r| r.outcome).sum()
+}
+
+fn main() {
+    let mut h = Harness::new("batch_throughput");
+    let graphs: [Graph; 3] = [
+        generators::erdos_renyi_gnp(96, 8.0 / 95.0, 5),
+        generators::grid(8, 8),
+        generators::cycle(64),
+    ];
+    // Sanity: the mix must actually solve (a broken scheduler that dropped
+    // jobs would otherwise "win" every benchmark).
+    let mis_total = run_batch(&graphs, Some(8));
+    assert_eq!(mis_total, run_batch(&graphs, None));
+    assert!(mis_total > 0, "the mixed batch must produce MIS nodes");
+
+    h.bench("mixed256/unbounded", || run_batch(&graphs, None));
+    h.bench("mixed256/quantum8", || run_batch(&graphs, Some(8)));
+    h.finish();
+}

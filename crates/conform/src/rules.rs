@@ -279,6 +279,23 @@ pub const RULES: &[RuleInfo] = &[
               core does)",
     },
     RuleInfo {
+        id: "R20",
+        summary: "executions are driven, not hand-stepped: outside the driver and the \
+                  batch scheduler, library code never calls `.step()` directly",
+        contract: "in crates/core and crates/sim non-test code, a `.step()` call \
+                   appears only in crates/sim/src/driver.rs, in \
+                   crates/sim/src/scheduler.rs, or inside a function itself named \
+                   `step` (an `Execution` delegating to an inner execution)",
+        rationale: "the scheduler's preemption accounting and the driver's \
+                    checkpoint cadence both hinge on owning every step boundary; a \
+                    hand-rolled `while let Status::Running = exec.step()` loop \
+                    advances an execution the step counters and snapshot policy \
+                    never see, so batch runs would silently drift from solo runs",
+        fix: "drive the execution through `drive`/`drive_observed`/\
+              `drive_with_checkpoints` or submit it to `BatchScheduler`; wrappers \
+              that forward to an inner execution belong in their own `fn step`",
+    },
+    RuleInfo {
         id: "P1",
         summary: "conform pragmas must be well-formed, name known rules, and carry a \
                   justification",
@@ -751,7 +768,7 @@ fn registry_finding(path: &str, line: usize, name: &str) -> Finding {
     )
 }
 
-/// Runs the structural rules R10–R13 and R15 over the whole parsed
+/// Runs the structural rules R10–R13, R15, and R20 over the whole parsed
 /// workspace.
 ///
 /// `syntaxes` and `pragmas` must be index-aligned with the `.rs` sources
@@ -770,6 +787,7 @@ pub fn check_structural(
     check_r12(syntaxes, graph, findings);
     check_r13(sources, syntaxes, findings);
     check_r15(sources, syntaxes, findings);
+    check_r20(sources, syntaxes, findings);
 }
 
 /// R10: interprocedural closure of R9 — any library function outside the
@@ -1155,6 +1173,53 @@ fn check_r15(sources: &[SourceFile], syntaxes: &[FileSyntax], findings: &mut Vec
             }
         }
     }
+}
+
+/// R20: executions are driven, not hand-stepped — in sim-core library
+/// code, `.step()` is called only by the driver, the batch scheduler, or a
+/// `fn step` forwarding to an inner execution. Any other call site
+/// advances an execution outside the step accounting that preemption and
+/// checkpoint cadence are built on.
+fn check_r20(sources: &[SourceFile], syntaxes: &[FileSyntax], findings: &mut Vec<Finding>) {
+    for (fi, fs) in syntaxes.iter().enumerate() {
+        let path = fs.effective.as_str();
+        if !in_sim_core(path) || is_step_owner(path) {
+            continue;
+        }
+        let lines = &sources[fi].lines;
+        for f in &fs.fns {
+            if f.is_test || f.name == "step" {
+                continue;
+            }
+            for lineno in f.start_line..=f.end_line {
+                let Some(line) = lines.get(lineno - 1) else {
+                    continue;
+                };
+                if line.in_test || !line.code.contains(".step()") {
+                    continue;
+                }
+                findings.push(Finding::new(
+                    path,
+                    lineno,
+                    "R20",
+                    format!(
+                        "`.step()` called in `{}`, outside the driver/scheduler: a \
+                         hand-rolled step loop bypasses the step counters that \
+                         preemption and checkpoint cadence rely on — drive the \
+                         execution via `drive*` or `BatchScheduler`, or forward from \
+                         a `fn step`",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The two modules sanctioned to advance executions step-by-step: the
+/// solo driver and the batch scheduler.
+fn is_step_owner(path: &str) -> bool {
+    path == "crates/sim/src/driver.rs" || path == "crates/sim/src/scheduler.rs"
 }
 
 /// Calls `f(line, description)` for every float type name or float literal

@@ -304,6 +304,36 @@ fn r19_justified_pragma_clears_an_audited_closure() {
     assert!(findings.is_empty(), "{findings:?}");
 }
 
+#[test]
+fn r20_step_calls_stay_in_the_driver_and_scheduler() {
+    assert_fires_and_clean("R20", "r20_fires.rs", "r20_clean.rs");
+    let firing = check(&[fixture("r20_fires.rs")]);
+    assert!(
+        firing.iter().any(|f| f.rule == "R20"
+            && f.message.contains("`solve_inline`")
+            && f.message.contains("BatchScheduler")),
+        "{firing:?}"
+    );
+    // The same code is fine where the step loop legitimately lives: the
+    // driver and the batch scheduler own step boundaries.
+    for owner in ["crates/sim/src/driver.rs", "crates/sim/src/scheduler.rs"] {
+        let src = std::fs::read_to_string(format!(
+            "{}/tests/fixtures/r20_fires.rs",
+            env!("CARGO_MANIFEST_DIR")
+        ))
+        .expect("fixture must be readable")
+        .replace("crates/core/src/harness.rs", owner);
+        let findings = check(&[Input {
+            path: "crates/conform/tests/fixtures/inline.rs".to_string(),
+            text: src,
+        }]);
+        assert!(
+            !findings.iter().any(|f| f.rule == "R20"),
+            "{owner} owns step boundaries: {findings:?}"
+        );
+    }
+}
+
 /// Maps a rule id to its (firing, clean) fixture file names.
 fn fixture_pair(id: &str) -> (String, String) {
     match id {
@@ -351,7 +381,7 @@ fn every_rule_has_explain_text_and_the_id_set_is_complete() {
     // empty, and the rule set itself is pinned so a dropped entry fails
     // loudly rather than silently losing coverage.
     let ids: Vec<&str> = cc_mis_conform::rules::RULES.iter().map(|r| r.id).collect();
-    let expected: Vec<String> = (1..=19)
+    let expected: Vec<String> = (1..=20)
         .map(|n| format!("R{n}"))
         .chain(std::iter::once("P1".to_string()))
         .collect();

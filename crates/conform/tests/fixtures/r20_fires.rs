@@ -1,0 +1,13 @@
+// conform-fixture: crates/core/src/harness.rs
+//! R20 firing fixture: a hand-rolled step loop outside the driver and the
+//! batch scheduler. The loop advances the execution past step boundaries
+//! the scheduler's preemption accounting and the driver's checkpoint
+//! cadence never see.
+
+pub fn solve_inline(mut exec: LubyExecution<'_>) -> MisOutcome {
+    loop {
+        if let Status::Done(outcome) = exec.step() {
+            return outcome;
+        }
+    }
+}

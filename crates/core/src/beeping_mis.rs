@@ -127,6 +127,9 @@ pub fn run_beeping_observed(
 #[derive(Debug)]
 pub struct BeepingExecution<'a> {
     g: &'a Graph,
+    /// Graph fingerprint, computed once at construction so per-checkpoint
+    /// `save` calls skip the O(m) edge walk.
+    graph_fp: u64,
     params: BeepingParams,
     seed: u64,
     engine: BeepingEngine<'a>,
@@ -155,6 +158,7 @@ impl<'a> BeepingExecution<'a> {
         }
         BeepingExecution {
             g,
+            graph_fp: graph_fingerprint(g),
             params: *params,
             seed,
             engine: BeepingEngine::new(g),
@@ -287,7 +291,7 @@ impl Execution for BeepingExecution<'_> {
     }
 
     fn save(&self, w: &mut SnapshotWriter) {
-        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.graph_fp);
         w.write_u64(self.seed);
         w.write_u64(self.params.max_iterations);
         w.write_bool(self.params.record_trace);
@@ -305,7 +309,7 @@ impl Execution for BeepingExecution<'_> {
     }
 
     fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("graph fingerprint", self.graph_fp)?;
         r.expect_u64("seed", self.seed)?;
         r.expect_u64("max_iterations", self.params.max_iterations)?;
         r.expect_bool("record_trace", self.params.record_trace)?;

@@ -159,6 +159,9 @@ pub fn run_clique_mis_observed(
 #[derive(Debug)]
 pub struct CliqueMisExecution<'a> {
     g: &'a Graph,
+    /// Graph fingerprint, computed once at construction so per-checkpoint
+    /// `save` calls skip the O(m) edge walk.
+    graph_fp: u64,
     cfg: CliqueMisParams,
     /// Resolved sparsified parameters (defaults applied).
     params: SparsifiedParams,
@@ -198,6 +201,7 @@ impl<'a> CliqueMisExecution<'a> {
         );
         CliqueMisExecution {
             g,
+            graph_fp: graph_fingerprint(g),
             cfg: *cfg,
             params,
             seed,
@@ -517,7 +521,7 @@ impl Execution for CliqueMisExecution<'_> {
     }
 
     fn save(&self, w: &mut SnapshotWriter) {
-        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.graph_fp);
         w.write_u64(self.seed);
         w.write_usize(self.params.phase_len);
         w.write_u32(self.params.super_heavy_log2);
@@ -539,7 +543,7 @@ impl Execution for CliqueMisExecution<'_> {
     }
 
     fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("graph fingerprint", self.graph_fp)?;
         r.expect_u64("seed", self.seed)?;
         r.expect_usize("phase_len", self.params.phase_len)?;
         r.expect_u32("super_heavy_log2", self.params.super_heavy_log2)?;

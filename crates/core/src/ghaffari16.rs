@@ -231,6 +231,9 @@ pub fn run_ghaffari16_observed(
 #[derive(Debug)]
 pub struct Ghaffari16Execution<'a> {
     g: &'a Graph,
+    /// Graph fingerprint, computed once at construction so per-checkpoint
+    /// `save` calls skip the O(m) edge walk.
+    graph_fp: u64,
     params: Ghaffari16Params,
     seed: u64,
     engine: CongestEngine<'a>,
@@ -248,6 +251,7 @@ impl<'a> Ghaffari16Execution<'a> {
         let n = g.node_count();
         Ghaffari16Execution {
             g,
+            graph_fp: graph_fingerprint(g),
             params: *params,
             seed,
             engine: CongestEngine::strict(g, standard_bandwidth(n)),
@@ -366,7 +370,7 @@ impl Execution for Ghaffari16Execution<'_> {
     }
 
     fn save(&self, w: &mut SnapshotWriter) {
-        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.graph_fp);
         w.write_u64(self.seed);
         w.write_u64(self.params.max_iterations);
         w.write_f64(self.params.clique_factor);
@@ -379,7 +383,7 @@ impl Execution for Ghaffari16Execution<'_> {
     }
 
     fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("graph fingerprint", self.graph_fp)?;
         r.expect_u64("seed", self.seed)?;
         r.expect_u64("max_iterations", self.params.max_iterations)?;
         r.expect_f64("clique_factor", self.params.clique_factor)?;
@@ -426,6 +430,9 @@ pub fn run_ghaffari16_clique_observed(
 #[derive(Debug)]
 pub struct Ghaffari16CliqueExecution<'a> {
     g: &'a Graph,
+    /// Graph fingerprint, computed once at construction so per-checkpoint
+    /// `save` calls skip the O(m) edge walk.
+    graph_fp: u64,
     params: Ghaffari16Params,
     seed: u64,
     engine: CliqueEngine,
@@ -450,6 +457,7 @@ impl<'a> Ghaffari16CliqueExecution<'a> {
         engine.ledger_mut().begin_phase("ghaffari16 iterations");
         Ghaffari16CliqueExecution {
             g,
+            graph_fp: graph_fingerprint(g),
             params: *params,
             seed,
             engine,
@@ -520,7 +528,7 @@ impl Execution for Ghaffari16CliqueExecution<'_> {
     }
 
     fn save(&self, w: &mut SnapshotWriter) {
-        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.graph_fp);
         w.write_u64(self.seed);
         w.write_u64(self.params.max_iterations);
         w.write_f64(self.params.clique_factor);
@@ -532,7 +540,7 @@ impl Execution for Ghaffari16CliqueExecution<'_> {
     }
 
     fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("graph fingerprint", self.graph_fp)?;
         r.expect_u64("seed", self.seed)?;
         r.expect_u64("max_iterations", self.params.max_iterations)?;
         r.expect_f64("clique_factor", self.params.clique_factor)?;

@@ -147,6 +147,9 @@ impl LowDegStage {
 #[derive(Debug)]
 pub struct LowDegExecution<'a> {
     g: &'a Graph,
+    /// Graph fingerprint, computed once at construction so per-checkpoint
+    /// `save` calls skip the O(m) edge walk.
+    graph_fp: u64,
     params: LowDegParams,
     seed: u64,
     rng: SharedRandomness,
@@ -166,6 +169,7 @@ impl<'a> LowDegExecution<'a> {
         let n = g.node_count();
         LowDegExecution {
             g,
+            graph_fp: graph_fingerprint(g),
             params: *params,
             seed,
             rng: SharedRandomness::new(seed),
@@ -301,7 +305,7 @@ impl Execution for LowDegExecution<'_> {
     }
 
     fn save(&self, w: &mut SnapshotWriter) {
-        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.graph_fp);
         w.write_u64(self.seed);
         w.write_f64(self.params.iteration_factor);
         w.write_ledger(self.engine.ledger());
@@ -314,7 +318,7 @@ impl Execution for LowDegExecution<'_> {
     }
 
     fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("graph fingerprint", self.graph_fp)?;
         r.expect_u64("seed", self.seed)?;
         r.expect_f64("iteration_factor", self.params.iteration_factor)?;
         let ledger = r.read_ledger()?;

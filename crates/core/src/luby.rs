@@ -85,6 +85,9 @@ pub fn run_luby_observed(
 #[derive(Debug)]
 pub struct LubyExecution<'a> {
     g: &'a Graph,
+    /// Graph fingerprint, computed once at construction so per-checkpoint
+    /// `save` calls skip the O(m) edge walk.
+    graph_fp: u64,
     params: LubyParams,
     seed: u64,
     engine: CongestEngine<'a>,
@@ -101,6 +104,7 @@ impl<'a> LubyExecution<'a> {
         let n = g.node_count();
         LubyExecution {
             g,
+            graph_fp: graph_fingerprint(g),
             params: *params,
             seed,
             engine: CongestEngine::strict(g, standard_bandwidth(n)),
@@ -202,7 +206,7 @@ impl Execution for LubyExecution<'_> {
     }
 
     fn save(&self, w: &mut SnapshotWriter) {
-        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.graph_fp);
         w.write_u64(self.seed);
         w.write_u64(self.params.max_iterations);
         w.write_u64(self.params.priority_bits);
@@ -214,7 +218,7 @@ impl Execution for LubyExecution<'_> {
     }
 
     fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("graph fingerprint", self.graph_fp)?;
         r.expect_u64("seed", self.seed)?;
         r.expect_u64("max_iterations", self.params.max_iterations)?;
         r.expect_u64("priority_bits", self.params.priority_bits)?;

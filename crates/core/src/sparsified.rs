@@ -183,6 +183,9 @@ pub fn run_sparsified(g: &Graph, params: &SparsifiedParams, seed: u64) -> Sparsi
 #[derive(Debug)]
 pub struct SparsifiedExecution<'a> {
     g: &'a Graph,
+    /// Graph fingerprint, computed once at construction so per-checkpoint
+    /// `save` calls skip the O(m) edge walk.
+    graph_fp: u64,
     params: SparsifiedParams,
     seed: u64,
     rng: SharedRandomness,
@@ -214,6 +217,7 @@ impl<'a> SparsifiedExecution<'a> {
         }
         SparsifiedExecution {
             g,
+            graph_fp: graph_fingerprint(g),
             params: *params,
             seed,
             rng: SharedRandomness::new(seed),
@@ -410,7 +414,7 @@ impl Execution for SparsifiedExecution<'_> {
     }
 
     fn save(&self, w: &mut SnapshotWriter) {
-        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.graph_fp);
         w.write_u64(self.seed);
         w.write_usize(self.params.phase_len);
         w.write_u32(self.params.super_heavy_log2);
@@ -430,7 +434,7 @@ impl Execution for SparsifiedExecution<'_> {
     }
 
     fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("graph fingerprint", self.graph_fp)?;
         r.expect_u64("seed", self.seed)?;
         r.expect_usize("phase_len", self.params.phase_len)?;
         r.expect_u32("super_heavy_log2", self.params.super_heavy_log2)?;
@@ -572,6 +576,9 @@ pub fn run_sparsified_messaged_observed(
 #[derive(Debug)]
 pub struct SparsifiedMessagedExecution<'a> {
     g: &'a Graph,
+    /// Graph fingerprint, computed once at construction so per-checkpoint
+    /// `save` calls skip the O(m) edge walk.
+    graph_fp: u64,
     params: SparsifiedParams,
     seed: u64,
     rng: SharedRandomness,
@@ -596,6 +603,7 @@ impl<'a> SparsifiedMessagedExecution<'a> {
         let n = g.node_count();
         SparsifiedMessagedExecution {
             g,
+            graph_fp: graph_fingerprint(g),
             params: *params,
             seed,
             rng: SharedRandomness::new(seed),
@@ -743,7 +751,7 @@ impl Execution for SparsifiedMessagedExecution<'_> {
     }
 
     fn save(&self, w: &mut SnapshotWriter) {
-        w.write_u64(graph_fingerprint(self.g));
+        w.write_u64(self.graph_fp);
         w.write_u64(self.seed);
         w.write_usize(self.params.phase_len);
         w.write_u32(self.params.super_heavy_log2);
@@ -760,7 +768,7 @@ impl Execution for SparsifiedMessagedExecution<'_> {
     }
 
     fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
-        r.expect_u64("graph fingerprint", graph_fingerprint(self.g))?;
+        r.expect_u64("graph fingerprint", self.graph_fp)?;
         r.expect_u64("seed", self.seed)?;
         r.expect_usize("phase_len", self.params.phase_len)?;
         r.expect_u32("super_heavy_log2", self.params.super_heavy_log2)?;

@@ -12,12 +12,80 @@
 //!   exercise the super-heavy machinery of §2.3.
 //! * [`disjoint_cliques`] — the classic hard instance where `Δ` is large but
 //!   the MIS is tiny (one vertex per clique).
+//! * [`kronecker`] — GAPBS-style R-MAT/Kronecker graphs; the synthetic
+//!   scale-free family for large batch workloads (`2^16+` nodes).
 //! * structured families ([`cycle`], [`path`], [`complete`], [`star`],
 //!   [`grid`], [`balanced_tree`], [`caterpillar`], [`complete_bipartite`],
 //!   [`planted_independent_set`]) for unit tests and edge cases.
 
-use crate::rng::SplitMix64;
+use crate::rng::{mix3, SplitMix64};
 use crate::{Graph, GraphBuilder, NodeId};
+
+/// Stream tag separating Kronecker edge draws from every other consumer of
+/// the counter-based [`mix3`] domain (ASCII `"KRON"`).
+const KRONECKER_STREAM: u64 = 0x4B52_4F4E;
+
+/// Kronecker (R-MAT) graph in the style of the GAP Benchmark Suite /
+/// Graph500: `n = 2^scale` vertices and about `edge_factor · n` undirected
+/// edges (self-loops dropped, duplicates merged), drawn with the standard
+/// quadrant probabilities `A = 0.57`, `B = 0.19`, `C = 0.19`, `D = 0.05`.
+///
+/// Each candidate edge `e` is drawn from its own counter-based stream
+/// `SplitMix64::new(mix3(seed, e, KRON))`, so the edge list is a pure
+/// function of `(scale, edge_factor, seed)` — independent of evaluation
+/// order, like the simulators' per-`(node, round)` coins. Vertex labels are
+/// *not* scrambled (unlike GAPBS's optional permutation): low-numbered
+/// vertices are the heavy hitters, which the heavy-tail tests rely on.
+///
+/// # Panics
+///
+/// Panics if `scale >= 32` (node ids are `u32`).
+///
+/// # Example
+///
+/// ```
+/// use cc_mis_graph::generators::kronecker;
+/// let g = kronecker(8, 4, 42);
+/// assert_eq!(g.node_count(), 256);
+/// assert_eq!(g, kronecker(8, 4, 42)); // deterministic per (scale, ef, seed)
+/// ```
+pub fn kronecker(scale: u32, edge_factor: usize, seed: u64) -> Graph {
+    assert!(scale < 32, "scale = {scale} must be < 32 (u32 node ids)");
+    const A: f64 = 0.57;
+    const B: f64 = 0.19;
+    const C: f64 = 0.19;
+    let n = 1usize << scale;
+    let draws = (n as u64) * (edge_factor as u64);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(edge_factor * n);
+    for e in 0..draws {
+        // conform: allow(R11) -- counter-based keying: mix3(seed, e, stream) derives an independent substream per candidate edge, the sanctioned alternative to re-seeding
+        let mut rng = SplitMix64::new(mix3(seed, e, KRONECKER_STREAM));
+        let (mut src, mut dst) = (0u32, 0u32);
+        // One quadrant choice per bit of the address space, most significant
+        // bit first (the recursive R-MAT descent, unrolled).
+        for _ in 0..scale {
+            let r = rng.next_f64();
+            src <<= 1;
+            dst <<= 1;
+            if r < A + B {
+                if r >= A {
+                    dst |= 1;
+                }
+            } else {
+                src |= 1;
+                if r >= A + B + C {
+                    dst |= 1;
+                }
+            }
+        }
+        if src != dst {
+            edges.push(order_pair((src, dst)));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_sorted_unique_edges(n, &edges)
+}
 
 /// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` possible edges appears
 /// independently with probability `p`.
@@ -677,6 +745,44 @@ mod tests {
         assert_eq!(caterpillar(4, 2).edge_count(), 3 + 8);
         assert_eq!(disjoint_cliques(3, 4).edge_count(), 3 * 6);
         assert_eq!(disjoint_cliques(3, 4).max_degree(), 3);
+    }
+
+    #[test]
+    fn kronecker_is_deterministic_and_sized() {
+        let a = kronecker(7, 8, 11);
+        let b = kronecker(7, 8, 11);
+        let c = kronecker(7, 8, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.node_count(), 128);
+        // Self-loop drops and dedup only ever shrink the edge list.
+        assert!(a.edge_count() <= 8 * 128);
+        assert!(a.edge_count() > 128, "ef = 8 should survive dedup");
+    }
+
+    #[test]
+    fn kronecker_has_a_heavy_tail() {
+        let g = kronecker(10, 8, 3);
+        // R-MAT without label scrambling concentrates degree on vertex 0.
+        assert!(
+            g.degree(NodeId::new(0)) as f64 > 4.0 * g.average_degree(),
+            "d0 = {} avg = {}",
+            g.degree(NodeId::new(0)),
+            g.average_degree()
+        );
+    }
+
+    #[test]
+    fn kronecker_scales_past_2_16() {
+        let g = kronecker(16, 2, 9);
+        assert_eq!(g.node_count(), 1 << 16);
+        assert!(g.edge_count() > 1 << 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < 32")]
+    fn kronecker_rejects_scale_32() {
+        kronecker(32, 1, 0);
     }
 
     #[test]

@@ -114,62 +114,87 @@ pub trait Execution {
     fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError>;
 }
 
-/// Runs an execution to completion and returns its outcome.
-pub fn drive<E: Execution>(mut exec: E) -> E::Outcome {
-    loop {
-        if let Status::Done(outcome) = exec.step() {
-            return outcome;
-        }
+/// Boxed executions delegate, so the batch scheduler can queue
+/// heterogeneous algorithms behind one outcome type (see
+/// [`crate::scheduler::BoxedExecution`]).
+impl<E: Execution + ?Sized> Execution for Box<E> {
+    type Outcome = E::Outcome;
+
+    fn algorithm_id(&self) -> &'static str {
+        (**self).algorithm_id()
     }
+
+    fn attach_observer(&mut self, observer: SharedObserver) {
+        (**self).attach_observer(observer);
+    }
+
+    fn step(&mut self) -> Status<Self::Outcome> {
+        (**self).step()
+    }
+
+    fn save(&self, w: &mut SnapshotWriter) {
+        (**self).save(w);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        (**self).restore(r)
+    }
+}
+
+/// Runs a single-job batch and unwraps its one result.
+fn drive_single<O>(
+    scheduler: crate::scheduler::BatchScheduler,
+    spec: crate::scheduler::JobSpec<'_, O>,
+) -> O {
+    let mut results = scheduler.run(vec![spec]);
+    results
+        .pop()
+        .expect("a single-job batch yields exactly one result")
+        .outcome
+}
+
+/// Runs an execution to completion and returns its outcome.
+///
+/// Since the batch-scheduler refactor this is a thin single-job batch
+/// over [`crate::scheduler::BatchScheduler`] with an unbounded quantum —
+/// the loop the algorithm used to own now lives in the scheduler's
+/// run-one-turn core, shared with every multi-tenant batch.
+pub fn drive<E: Execution>(exec: E) -> E::Outcome {
+    drive_observed(exec, None)
 }
 
 /// [`drive`] with an optional observer attached before the first step —
 /// the single entry point behind every `run_*` / `run_*_observed` pair.
-pub fn drive_observed<E: Execution>(mut exec: E, observer: Option<SharedObserver>) -> E::Outcome {
+pub fn drive_observed<E: Execution>(exec: E, observer: Option<SharedObserver>) -> E::Outcome {
+    let mut spec = crate::scheduler::JobSpec::solo(exec);
     if let Some(obs) = observer {
-        exec.attach_observer(obs);
+        spec = spec.observed(obs);
     }
-    drive(exec)
+    drive_single(crate::scheduler::BatchScheduler::unbounded(), spec)
 }
 
 /// Runs an execution to completion, handing an encoded snapshot to `sink`
 /// after every `every`-th completed step. The sink receives the number of
 /// completed steps and the snapshot bytes; overwriting one file with the
-/// latest snapshot is the expected use.
+/// latest snapshot is the expected use. The snapshot encode buffer is
+/// recycled across checkpoints by the scheduler, so after the first
+/// checkpoint the encode is allocation-free.
 ///
 /// # Panics
 ///
 /// Panics if `every == 0`.
 pub fn drive_with_checkpoints<E: Execution>(
-    mut exec: E,
+    exec: E,
     observer: Option<SharedObserver>,
     every: u64,
-    mut sink: impl FnMut(u64, &[u8]),
+    sink: impl FnMut(u64, &[u8]),
 ) -> E::Outcome {
     assert!(every > 0, "checkpoint interval must be at least 1 step");
+    let mut spec = crate::scheduler::JobSpec::solo(exec).checkpointed(every, sink);
     if let Some(obs) = observer {
-        exec.attach_observer(obs);
+        spec = spec.observed(obs);
     }
-    let mut steps: u64 = 0;
-    // One buffer recycled across checkpoints: snapshots at successive
-    // boundaries have near-identical sizes, so after the first checkpoint
-    // the encode is allocation-free — the same steady-state discipline the
-    // round core applies to its own buffers (see crates/sim/src/pool.rs).
-    let mut buf: Vec<u8> = Vec::new();
-    loop {
-        if let Status::Done(outcome) = exec.step() {
-            return outcome;
-        }
-        steps = steps
-            .checked_add(1)
-            .expect("step count stays within u64 (runs are bounded far below 2^64 steps)");
-        if steps.is_multiple_of(every) {
-            let mut w = SnapshotWriter::with_buffer(std::mem::take(&mut buf), exec.algorithm_id());
-            exec.save(&mut w);
-            buf = w.finish();
-            sink(steps, &buf);
-        }
-    }
+    drive_single(crate::scheduler::BatchScheduler::unbounded(), spec)
 }
 
 /// Encodes an execution's state as snapshot bytes (header + payload).

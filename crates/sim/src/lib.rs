@@ -59,6 +59,7 @@ pub mod pool;
 pub mod rng;
 pub mod routing;
 pub mod runtime;
+pub mod scheduler;
 pub mod snapshot;
 
 pub use driver::{drive, drive_observed, drive_with_checkpoints, Execution, Status};
@@ -66,4 +67,5 @@ pub use metrics::{BandwidthError, RoundLedger};
 pub use par_nodes::par_map_nodes;
 pub use rng::SharedRandomness;
 pub use runtime::{Inboxes, RoundEvent, RoundObserver, SharedObserver};
+pub use scheduler::{BatchScheduler, BoxedExecution, JobResult, JobSpec, MapOutcome};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};

@@ -21,17 +21,48 @@
 //! reclaimed by downcast — all in safe Rust (`M: Send + 'static`).
 
 use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cc_mis_graph::NodeId;
 
 use crate::bits::idx_u32;
 
-/// Largest node count for which the clique transport uses the dense
+/// Default largest node count for which the clique transport uses the dense
 /// per-pair `u64` load array (`n²` words; 2048 ⇒ 32 MiB). Beyond this the
 /// round falls back to the sparse [`PairBits`] path, which scales with the
 /// number of *distinct* pairs actually used.
-pub(crate) const DENSE_MAX_NODES: usize = 2048;
+///
+/// The effective cutoff is [`dense_pair_max`]; both accounting paths charge
+/// identical per-pair totals (pinned by the boundary test below), so the
+/// cutoff is purely a space/time trade, never a semantics knob.
+pub const DENSE_PAIR_MAX_DEFAULT: usize = 2048;
+
+/// In-process cutoff override; `0` means "not set".
+static DENSE_PAIR_MAX_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the dense-pair cutoff for subsequent rounds in this process,
+/// taking precedence over `CC_MIS_DENSE_PAIR_MAX`. `None` clears the
+/// override. Because the dense and sparse paths account identically, this
+/// changes memory use only, never results.
+pub fn set_dense_pair_max_override(max_nodes: Option<usize>) {
+    DENSE_PAIR_MAX_OVERRIDE.store(max_nodes.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The effective dense-pair cutoff: the in-process override if set (values
+/// ≥ 1), else `CC_MIS_DENSE_PAIR_MAX` (unparsable values fall back to the
+/// default; `0` forces the sparse path for every graph), else
+/// [`DENSE_PAIR_MAX_DEFAULT`].
+pub fn dense_pair_max() -> usize {
+    let ov = DENSE_PAIR_MAX_OVERRIDE.load(Ordering::Relaxed);
+    if ov >= 1 {
+        return ov;
+    }
+    match std::env::var("CC_MIS_DENSE_PAIR_MAX") {
+        Ok(s) => s.trim().parse::<usize>().unwrap_or(DENSE_PAIR_MAX_DEFAULT),
+        Err(_) => DENSE_PAIR_MAX_DEFAULT,
+    }
+}
 
 /// How many retired type-erased buffers each pool retains. Two is enough
 /// for every in-tree pattern (at most one live `Inboxes` per engine plus

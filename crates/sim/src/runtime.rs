@@ -92,7 +92,8 @@ pub trait Transport {
     /// `Some(n)` when every admissible pair fits the dense `n * n` load
     /// array (word-level pair accounting); `None` keeps the sparse
     /// `PairBits` path. Dense transports with huge `n` are still clamped
-    /// to sparse by [`pool::DENSE_MAX_NODES`].
+    /// to sparse by [`pool::dense_pair_max`] (default
+    /// [`pool::DENSE_PAIR_MAX_DEFAULT`], env `CC_MIS_DENSE_PAIR_MAX`).
     fn dense_pair_domain(&self) -> Option<usize> {
         None
     }
@@ -395,7 +396,7 @@ impl<'a, T: Transport, M: Send + 'static> Round<'a, T, M> {
         let start_messages = core.ledger.messages;
         let start_bits = core.ledger.bits;
         let loads = match transport.dense_pair_domain() {
-            Some(n) if n <= pool::DENSE_MAX_NODES => PairLoads::Dense {
+            Some(n) if n <= pool::dense_pair_max() => PairLoads::Dense {
                 loads: core.buffers.take_dense(n * n),
                 n,
             },
@@ -914,6 +915,48 @@ mod tests {
         assert_eq!(core.ledger().rounds, 1);
         assert_eq!(core.ledger().messages, 1);
         assert_eq!(core.ledger().bits, 8);
+    }
+
+    /// Satellite pin: at the dense cutoff boundary the dense `n * n` array
+    /// and the sparse `PairBits` log charge identical ledgers, emit
+    /// identical observer events (including `max_pair_load`), and reject
+    /// the same over-budget send — the cutoff is a space/time trade only.
+    #[test]
+    fn dense_and_sparse_pair_accounting_agree_at_the_boundary() {
+        let n = 6usize;
+        let run = |cutoff: usize| {
+            crate::pool::set_dense_pair_max_override(Some(cutoff));
+            let recorder = shared_recorder();
+            let mut core = RoundCore::new(32, Enforcement::Strict);
+            core.ledger_mut().begin_phase("boundary");
+            core.attach_observer(recorder.clone());
+            let mut round: Round<'_, CliqueTransport, u8> =
+                Round::begin(&mut core, CliqueTransport { n });
+            round
+                .send(NodeId::new(0), NodeId::new(1), 24, 1)
+                .expect("first send fits the 32-bit pair budget");
+            round
+                .send(NodeId::new(0), NodeId::new(1), 8, 2)
+                .expect("second send exactly fills the pair budget");
+            let over = round
+                .send(NodeId::new(0), NodeId::new(1), 1, 3)
+                .expect_err("third send exceeds the pair budget")
+                .to_string();
+            round
+                .send(NodeId::new(3), NodeId::new(2), 16, 4)
+                .expect("fresh pair has a full budget");
+            round.deliver();
+            crate::pool::set_dense_pair_max_override(None);
+            let events = recorder.borrow().events.clone();
+            (events, core.ledger().clone(), over)
+        };
+        // cutoff = n keeps the dense array; cutoff = n - 1 forces sparse.
+        let dense = run(n);
+        let sparse = run(n - 1);
+        assert_eq!(dense, sparse);
+        assert_eq!(dense.0[0].max_pair_load, 32);
+        assert_eq!(dense.1.messages, 3);
+        assert_eq!(dense.1.bits, 48);
     }
 
     #[test]

@@ -10,9 +10,11 @@
 # BENCH_SAMPLES controls harness sample counts; SAMPLES (default 3) the
 # end-to-end repetitions.
 #
-# `bench.sh --check` is the regression gate: it reruns the engines bench
-# into a scratch file and fails if any `clique_all_to_all_round` median is
-# more than 25% slower than the pinned results/bench_engines.json (see
+# `bench.sh --check` is the regression gate: it reruns the engines and
+# batch-throughput benches into scratch files and fails if any
+# `clique_all_to_all_round` median regresses >25% against the pinned
+# results/bench_engines.json, or any `batch_throughput` median regresses
+# >25% against results/bench_batch_throughput.json (see
 # crates/bench/src/regress.rs). Opt into it from CI via BENCH_CHECK=1
 # scripts/tier1.sh.
 set -euo pipefail
@@ -24,16 +26,20 @@ SAMPLES="${SAMPLES:-3}"
 if [ "${1:-}" = "--check" ]; then
   cargo build --release --workspace
   fresh="$(mktemp)"
-  trap 'rm -f "$fresh"' EXIT
+  fresh_batch="$(mktemp)"
+  trap 'rm -f "$fresh" "$fresh_batch"' EXIT
   BENCH_JSON="$fresh" cargo bench -p cc-mis-bench --bench engines
   cargo run -q --release -p cc-mis-bench --bin bench_check -- \
     results/bench_engines.json "$fresh" clique_all_to_all_round 25
+  BENCH_JSON="$fresh_batch" cargo bench -p cc-mis-bench --bench batch_throughput
+  cargo run -q --release -p cc-mis-bench --bin bench_check -- \
+    results/bench_batch_throughput.json "$fresh_batch" batch_throughput 25
   exit 0
 fi
 
 cargo build --release --workspace
 
-for bench in engines mis_algorithms; do
+for bench in engines mis_algorithms batch_throughput; do
   out="results/bench_${bench}.json"
   : > "$out"
   # Absolute path: cargo runs bench binaries from the crate directory.

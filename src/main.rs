@@ -13,6 +13,8 @@
 
 #![forbid(unsafe_code)]
 
+mod batch;
+
 use std::process::ExitCode;
 
 use clique_mis::algorithms::beeping_mis::{BeepingExecution, BeepingParams};
@@ -55,14 +57,19 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   clique-mis run    --algorithm <greedy|luby|ghaffari16|g16-clique|beeping|sparsified|thm11|lowdeg|auto> <graph> [--seed S] [--json] [--trace PATH] [--checkpoint PATH [--checkpoint-every K]] [--resume PATH]
+  clique-mis batch  --jobs PATH.jsonl --out DIR [--quantum K] [--threads T]
   clique-mis reduce --kind <matching|vertex-coloring|edge-coloring> <graph> [--seed S]
   clique-mis ruling --k <K> <graph> [--seed S]
   clique-mis query  --node <V> <graph> [--seed S]
   clique-mis gen    <graph> [--format <edges|dimacs>]
 
 graph source (one of):
-  --family <gnp|regular|ba|grid|cycle|star|cliques|geometric|smallworld> --n <N> [--avg-deg <D>] [--seed S]
-  --input <path>   (edge list: 'n <count>' header then 'u v' lines; or DIMACS if named *.dimacs/*.col)";
+  --family <gnp|regular|ba|grid|cycle|star|cliques|geometric|smallworld|kronecker> --n <N> [--avg-deg <D>] [--seed S]
+  --input <path>   (edge list: 'n <count>' header then 'u v' lines; or DIMACS if named *.dimacs/*.col)
+
+batch jobs file: one JSON object per line, e.g.
+  {\"algorithm\":\"thm11\",\"family\":\"gnp\",\"n\":64,\"avg_deg\":8,\"seed\":7,\"trace\":true}
+(--quantum K preempts each job every K steps, 0 = run to completion; results land in DIR/job-NNNNN.json plus DIR/manifest.json)";
 
 /// Simple flag parser: `--key value` pairs after a subcommand.
 struct Options {
@@ -120,6 +127,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     let opts = Options::parse(rest)?;
     match cmd.as_str() {
         "run" => cmd_run(&opts),
+        "batch" => batch::cmd_batch(&opts),
         "reduce" => cmd_reduce(&opts),
         "ruling" => cmd_ruling(&opts),
         "query" => cmd_query(&opts),
@@ -142,6 +150,13 @@ fn load_graph(opts: &Options) -> Result<Graph, String> {
     let n: usize = opts.get_parsed("n")?.ok_or("need --n with --family")?;
     let seed: u64 = opts.get_parsed("seed")?.unwrap_or(1);
     let avg: f64 = opts.get_parsed("avg-deg")?.unwrap_or(8.0);
+    build_family(family, n, avg, seed)
+}
+
+/// Builds a named generator family, shared by `--family` graph sources and
+/// the batch job file. `n` is a target size: `grid` rounds to a square,
+/// `cliques` to whole blocks, `kronecker` up to the next power of two.
+fn build_family(family: &str, n: usize, avg: f64, seed: u64) -> Result<Graph, String> {
     let g = match family {
         "gnp" => generators::erdos_renyi_gnp(n, (avg / (n.max(2) - 1) as f64).min(1.0), seed),
         "regular" => {
@@ -173,6 +188,10 @@ fn load_graph(opts: &Options) -> Result<Graph, String> {
                 .min(n.saturating_sub(1) / 2 * 2);
             generators::watts_strogatz(n, k, 0.1, seed)
         }
+        "kronecker" => {
+            let scale = usize::BITS - (n.max(2) - 1).leading_zeros();
+            generators::kronecker(scale, (avg / 2.0).round().max(1.0) as usize, seed)
+        }
         other => return Err(format!("unknown family '{other}'")),
     };
     Ok(g)
@@ -196,6 +215,25 @@ fn phases_json(outcome: &MisOutcome) -> String {
             .collect(),
     )
     .render()
+}
+
+/// Renders one verified result as the single-line JSON record emitted by
+/// `run --json` and written per job by `batch` — one format, one function,
+/// so batch output stays byte-identical to a solo run.
+fn result_json(label: &str, g: &Graph, outcome: &MisOutcome) -> String {
+    let members: Vec<u32> = outcome.mis.iter().map(|v| v.raw()).collect();
+    format!(
+        "{{\"algorithm\":{label:?},\"n\":{},\"m\":{},\"max_degree\":{},\"mis_size\":{},\"rounds\":{},\"messages\":{},\"bits\":{},\"iterations\":{},\"phases\":{},\"verified\":true,\"mis\":{members:?}}}",
+        g.node_count(),
+        g.edge_count(),
+        g.max_degree(),
+        outcome.mis.len(),
+        outcome.ledger.rounds,
+        outcome.ledger.messages,
+        outcome.ledger.bits,
+        outcome.iterations,
+        phases_json(outcome),
+    )
 }
 
 /// Checkpoint/resume flags shared by all `run` algorithms.
@@ -392,19 +430,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         );
     }
     if opts.has_flag("json") {
-        let members: Vec<u32> = outcome.mis.iter().map(|v| v.raw()).collect();
-        println!(
-            "{{\"algorithm\":{label:?},\"n\":{},\"m\":{},\"max_degree\":{},\"mis_size\":{},\"rounds\":{},\"messages\":{},\"bits\":{},\"iterations\":{},\"phases\":{},\"verified\":true,\"mis\":{members:?}}}",
-            g.node_count(),
-            g.edge_count(),
-            g.max_degree(),
-            outcome.mis.len(),
-            outcome.ledger.rounds,
-            outcome.ledger.messages,
-            outcome.ledger.bits,
-            outcome.iterations,
-            phases_json(&outcome),
-        );
+        println!("{}", result_json(&label, &g, &outcome));
     } else {
         println!(
             "graph: {} nodes, {} edges, Δ = {}",

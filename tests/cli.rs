@@ -201,6 +201,155 @@ fn checkpoint_roundtrips_into_resume() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `batch` must produce, for every job, a result file byte-identical to a
+/// solo `run --json` of the same request (and a trace file identical to
+/// solo `--trace`), even while the scheduler preempts between jobs.
+#[test]
+fn batch_jobs_are_byte_identical_to_solo_runs() {
+    let dir = std::env::temp_dir().join(format!("clique-mis-batch-test-{}", std::process::id()));
+    let out_dir = dir.join("out");
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs_path = dir.join("jobs.jsonl");
+    // graph_seed defaults to seed, matching the solo CLI's single --seed.
+    let jobs = [
+        r#"{"algorithm":"thm11","family":"gnp","n":64,"avg_deg":8,"seed":7,"trace":true}"#,
+        r#"{"algorithm":"luby","family":"cycle","n":48,"seed":3}"#,
+        r#"{"algorithm":"sparsified","family":"gnp","n":80,"seed":9,"trace":true}"#,
+        r#"{"algorithm":"auto","family":"grid","n":64,"seed":5}"#,
+        r#"{"algorithm":"thm11","family":"kronecker","n":128,"seed":2}"#,
+    ];
+    std::fs::write(&jobs_path, jobs.join("\n") + "\n").unwrap();
+
+    let out = cli()
+        .args([
+            "batch",
+            "--jobs",
+            jobs_path.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--quantum",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stdout);
+    assert!(summary.contains("5 jobs (5 ok, 0 failed)"), "{summary}");
+    assert!(summary.contains("executions/sec"), "{summary}");
+
+    let manifest = std::fs::read_to_string(out_dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"executions_per_sec\""), "{manifest}");
+    assert!(manifest.contains("\"median_rounds\""), "{manifest}");
+
+    let solo_args: [&[&str]; 5] = [
+        &[
+            "--algorithm",
+            "thm11",
+            "--family",
+            "gnp",
+            "--n",
+            "64",
+            "--avg-deg",
+            "8",
+            "--seed",
+            "7",
+        ],
+        &[
+            "--algorithm",
+            "luby",
+            "--family",
+            "cycle",
+            "--n",
+            "48",
+            "--seed",
+            "3",
+        ],
+        &[
+            "--algorithm",
+            "sparsified",
+            "--family",
+            "gnp",
+            "--n",
+            "80",
+            "--avg-deg",
+            "8",
+            "--seed",
+            "9",
+        ],
+        &[
+            "--algorithm",
+            "auto",
+            "--family",
+            "grid",
+            "--n",
+            "64",
+            "--seed",
+            "5",
+        ],
+        &[
+            "--algorithm",
+            "thm11",
+            "--family",
+            "kronecker",
+            "--n",
+            "128",
+            "--seed",
+            "2",
+        ],
+    ];
+    for (i, args) in solo_args.iter().enumerate() {
+        let traced = i == 0 || i == 2;
+        let solo_trace = dir.join(format!("solo-{i}.trace.jsonl"));
+        let mut cmd = cli();
+        cmd.arg("run").args(args.iter()).arg("--json");
+        if traced {
+            cmd.args(["--trace", solo_trace.to_str().unwrap()]);
+        }
+        let solo = cmd.output().expect("binary runs");
+        assert!(
+            solo.status.success(),
+            "job {i} stderr: {}",
+            String::from_utf8_lossy(&solo.stderr)
+        );
+        let batch_result = std::fs::read(out_dir.join(format!("job-{i:05}.json"))).unwrap();
+        assert_eq!(
+            batch_result, solo.stdout,
+            "job {i}: batch result file differs from solo --json stdout"
+        );
+        if traced {
+            let batch_trace =
+                std::fs::read(out_dir.join(format!("job-{i:05}.trace.jsonl"))).unwrap();
+            let solo_bytes = std::fs::read(&solo_trace).unwrap();
+            assert_eq!(
+                batch_trace, solo_bytes,
+                "job {i}: batch trace differs from solo --trace"
+            );
+        }
+    }
+
+    // A malformed jobs file fails loudly with the offending line number.
+    std::fs::write(&jobs_path, "{\"algorithm\":\"luby\"}\n").unwrap();
+    let out = cli()
+        .args([
+            "batch",
+            "--jobs",
+            jobs_path.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("jobs line 1"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn query_answers_consistently() {
     let out = cli()
