@@ -56,21 +56,21 @@ pub fn check(
 
 /// A call site located inside a sibling slice, turbofish-aware (unlike
 /// [`crate::syntax::calls_in`], which skips `take_outbox::<M>(…)` calls).
-struct CallAt<'a> {
-    name: &'a str,
+pub(crate) struct CallAt<'a> {
+    pub(crate) name: &'a str,
     /// True for `.name(…)` method calls; `recv` is then the identifier
     /// directly before the dot, if there is one.
-    method: bool,
-    recv: Option<&'a str>,
-    args: &'a Group,
-    line: usize,
+    pub(crate) method: bool,
+    pub(crate) recv: Option<&'a str>,
+    pub(crate) args: &'a Group,
+    pub(crate) line: usize,
     /// Index just past the argument group.
-    after: usize,
+    pub(crate) after: usize,
 }
 
 /// Matches `ident [::<…>] (args)` at `i`, rejecting `fn` definitions,
 /// keywords, and macro names.
-fn call_at<'a>(trees: &'a [Tree], i: usize) -> Option<CallAt<'a>> {
+pub(crate) fn call_at<'a>(trees: &'a [Tree], i: usize) -> Option<CallAt<'a>> {
     let name = ident_of(&trees[i])?;
     if crate::syntax::is_keyword(name) || name.starts_with('\'') {
         return None;
@@ -131,7 +131,7 @@ fn skip_angles(trees: &[Tree], mut i: usize) -> usize {
 /// Renders trees as a normalized single-line expression (tokens joined by
 /// one space, string/char literals as `""`). Used to compare `save`-side
 /// write arguments against `restore`-side `expect_*` expressions.
-fn render(trees: &[Tree]) -> String {
+pub(crate) fn render(trees: &[Tree]) -> String {
     let mut out = String::new();
     render_into(trees, &mut out);
     out.trim().to_string()
@@ -164,7 +164,7 @@ fn render_into(trees: &[Tree], out: &mut String) {
 }
 
 /// True if `name` occurs as an identifier anywhere under `trees`.
-fn contains_ident(trees: &[Tree], name: &str) -> bool {
+pub(crate) fn contains_ident(trees: &[Tree], name: &str) -> bool {
     trees.iter().any(|t| match t {
         Tree::Leaf(_) => ident_of(t) == Some(name),
         Tree::Group(g) => contains_ident(&g.children, name),
@@ -172,7 +172,7 @@ fn contains_ident(trees: &[Tree], name: &str) -> bool {
 }
 
 /// Splits a sibling slice on top-level commas.
-fn split_commas(trees: &[Tree]) -> Vec<&[Tree]> {
+pub(crate) fn split_commas(trees: &[Tree]) -> Vec<&[Tree]> {
     let mut out = Vec::new();
     let mut start = 0;
     for (i, t) in trees.iter().enumerate() {
@@ -190,7 +190,7 @@ fn split_commas(trees: &[Tree]) -> Vec<&[Tree]> {
 /// Binding identifiers of a pattern slice: every identifier before the
 /// first top-level `:` (type ascription), recursing into tuple/struct
 /// pattern groups, excluding keywords (`mut`, `ref`, …) and `_`.
-fn pattern_idents(trees: &[Tree], out: &mut Vec<String>) {
+pub(crate) fn pattern_idents(trees: &[Tree], out: &mut Vec<String>) {
     let upto = trees
         .iter()
         .position(|t| punct_of(t) == Some(':'))
@@ -215,13 +215,13 @@ fn pattern_idents(trees: &[Tree], out: &mut Vec<String>) {
 
 /// A `impl Trait for Type { … }` block located by token scan (the syntax
 /// layer records the self type on each `FnSpan` but drops the trait name).
-struct TraitImpl {
-    self_type: String,
-    open_line: usize,
-    close_line: usize,
+pub(crate) struct TraitImpl {
+    pub(crate) self_type: String,
+    pub(crate) open_line: usize,
+    pub(crate) close_line: usize,
 }
 
-fn trait_impls(fs: &FileSyntax, trait_name: &str) -> Vec<TraitImpl> {
+pub(crate) fn trait_impls(fs: &FileSyntax, trait_name: &str) -> Vec<TraitImpl> {
     let mut out = Vec::new();
     scan_trait_impls(&fs.roots, trait_name, &mut out);
     out
@@ -237,6 +237,7 @@ fn scan_trait_impls(trees: &[Tree], trait_name: &str, out: &mut Vec<TraitImpl>) 
             }
             let mut saw_trait = false;
             let mut after_for = false;
+            let mut in_where = false;
             let mut ty: Option<String> = None;
             while j < trees.len() {
                 if let Some(g) = group_of(&trees[j]) {
@@ -262,7 +263,10 @@ fn scan_trait_impls(trees: &[Tree], trait_name: &str, out: &mut Vec<TraitImpl>) 
                 match ident_of(&trees[j]) {
                     Some(id) if id == trait_name && !after_for => saw_trait = true,
                     Some("for") => after_for = true,
-                    Some(id) if after_for && !crate::syntax::is_keyword(id) => {
+                    // A `where` clause ends the self-type position: bound
+                    // idents after it must not overwrite the type name.
+                    Some("where") => in_where = true,
+                    Some(id) if after_for && !in_where && !crate::syntax::is_keyword(id) => {
                         ty = Some(id.to_string());
                     }
                     _ => {}
@@ -285,7 +289,7 @@ fn scan_trait_impls(trees: &[Tree], trait_name: &str, out: &mut Vec<TraitImpl>) 
 /// Parameter names of `f`'s signature, in order, excluding `self` — found
 /// by walking back from the body group to the `fn` keyword and reading the
 /// first paren group after the name.
-fn fn_param_names(fs: &FileSyntax, f: &FnSpan) -> Vec<String> {
+pub(crate) fn fn_param_names(fs: &FileSyntax, f: &FnSpan) -> Vec<String> {
     let mut trees: &[Tree] = &fs.roots;
     for &idx in &f.path[..f.path.len().saturating_sub(1)] {
         match trees.get(idx) {
@@ -528,7 +532,7 @@ fn let_pattern_before(trees: &[Tree], i: usize) -> Option<&[Tree]> {
 
 /// One element of a save/restore operation sequence.
 #[derive(Clone)]
-enum OpNode {
+pub(crate) enum OpNode {
     /// A writer/reader call: `kind` is the name with its `write_` /
     /// `read_` / `expect_` prefix stripped, so the two sides compare
     /// generically. `expr` carries the written / expected value expression
@@ -629,7 +633,7 @@ fn check_r17(sources: &[SourceFile], syntaxes: &[FileSyntax], findings: &mut Vec
 /// `handles` are the bindings that carry the `SnapshotWriter` /
 /// `SnapshotReader` (the non-self params); `depth` bounds same-file helper
 /// inlining.
-fn extract_ops(
+pub(crate) fn extract_ops(
     trees: &[Tree],
     handles: &[String],
     fs: &FileSyntax,
@@ -892,7 +896,7 @@ fn quoted_on_line(src: &SourceFile, line: usize) -> Option<String> {
 }
 
 /// Drops empty loops/branches and collapses branches whose arms agree.
-fn normalize(nodes: Vec<OpNode>) -> Vec<OpNode> {
+pub(crate) fn normalize(nodes: Vec<OpNode>) -> Vec<OpNode> {
     let mut out = Vec::new();
     for n in nodes {
         match n {

@@ -1,5 +1,6 @@
 //! Findings and stable diagnostic rendering.
 
+use crate::fixes::Fix;
 use cc_mis_analysis::json::Json;
 
 /// One conformance finding.
@@ -9,10 +10,14 @@ pub struct Finding {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule id (`R1`..`R8`, or `P1` for pragma violations).
+    /// Rule id (`R1`..`R23`, or `P1`/`P2` for pragma violations).
     pub rule: &'static str,
     /// Human-readable message.
     pub message: String,
+    /// Mechanical repair, when the rule can compute one (see
+    /// [`crate::fixes`]). Rendered into SARIF `fixes` and applied by
+    /// `--fix`.
+    pub fix: Option<Fix>,
 }
 
 impl Finding {
@@ -23,7 +28,14 @@ impl Finding {
             line,
             rule,
             message: message.into(),
+            fix: None,
         }
+    }
+
+    /// Attaches a mechanical fix.
+    pub fn with_fix(mut self, fix: Fix) -> Self {
+        self.fix = Some(fix);
+        self
     }
 
     /// The stable one-line diagnostic form: `file:line rule-id message`.
@@ -32,14 +44,15 @@ impl Finding {
     }
 
     /// Severity class: pragma violations (`P1`) are errors — a broken
-    /// escape hatch may be silencing anything — as are pool leaks (`R16`)
-    /// and snapshot-parity breaks (`R17`), which corrupt state rather than
-    /// merely drifting from the model. Every other rule finding is a
-    /// warning (the CI gate still fails on warnings; the split feeds the
-    /// exit code and SARIF levels).
+    /// escape hatch may be silencing anything — as are pool leaks (`R16`),
+    /// snapshot-parity breaks (`R17`), determinism taint (`R21`), and
+    /// snapshot-format drift (`R22`), which corrupt state or reproducibility
+    /// rather than merely drifting from the model. Every other rule finding
+    /// is a warning (the CI gate still fails on warnings; the split feeds
+    /// the exit code and SARIF levels).
     pub fn severity(&self) -> &'static str {
         match self.rule {
-            "P1" | "R16" | "R17" => "error",
+            "P1" | "R16" | "R17" | "R21" | "R22" => "error",
             _ => "warning",
         }
     }
@@ -66,13 +79,19 @@ pub fn to_json(findings: &[Finding]) -> String {
     let items: Vec<Json> = findings
         .iter()
         .map(|f| {
-            Json::obj(vec![
+            let mut fields = vec![
                 ("path", Json::Str(f.path.clone())),
                 ("line", Json::UInt(f.line as u64)),
                 ("rule", Json::Str(f.rule.to_string())),
                 ("severity", Json::Str(f.severity().to_string())),
                 ("message", Json::Str(f.message.clone())),
-            ])
+            ];
+            // Appended only when present, so the frozen schema (which has
+            // no fixable findings) is unchanged.
+            if let Some(fix) = &f.fix {
+                fields.push(("fix", fix_to_json(fix)));
+            }
+            Json::obj(fields)
         })
         .collect();
     Json::obj(vec![
@@ -80,6 +99,27 @@ pub fn to_json(findings: &[Finding]) -> String {
         ("count", Json::UInt(findings.len() as u64)),
     ])
     .render_pretty()
+}
+
+/// Renders a [`crate::fixes::Fix`] as JSON: title plus span/replacement
+/// edits.
+fn fix_to_json(fix: &crate::fixes::Fix) -> Json {
+    let edits: Vec<Json> = fix
+        .edits
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                ("line", Json::UInt(e.span.line as u64)),
+                ("startCol", Json::UInt(e.span.start_col as u64)),
+                ("endCol", Json::UInt(e.span.end_col as u64)),
+                ("replacement", Json::Str(e.replacement.clone())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("title", Json::Str(fix.title.clone())),
+        ("edits", Json::Arr(edits)),
+    ])
 }
 
 /// Renders findings as a SARIF 2.1.0 log, the interchange format CI
@@ -112,7 +152,7 @@ pub fn to_sarif(findings: &[Finding]) -> String {
     let results: Vec<Json> = findings
         .iter()
         .map(|f| {
-            Json::obj(vec![
+            let mut fields = vec![
                 ("ruleId", Json::Str(f.rule.to_string())),
                 ("level", Json::Str(f.severity().to_string())),
                 (
@@ -135,7 +175,11 @@ pub fn to_sarif(findings: &[Finding]) -> String {
                         ]),
                     )])]),
                 ),
-            ])
+            ];
+            if let Some(fix) = &f.fix {
+                fields.push(("fixes", sarif_fixes(&f.path, fix)));
+            }
+            Json::obj(fields)
         })
         .collect();
     Json::obj(vec![
@@ -166,6 +210,47 @@ pub fn to_sarif(findings: &[Finding]) -> String {
         ),
     ])
     .render_pretty()
+}
+
+/// Renders the SARIF 2.1.0 `fixes` property for one finding: a single fix
+/// with one artifact change carrying every replacement.
+fn sarif_fixes(path: &str, fix: &crate::fixes::Fix) -> Json {
+    let replacements: Vec<Json> = fix
+        .edits
+        .iter()
+        .map(|e| {
+            Json::obj(vec![
+                (
+                    "deletedRegion",
+                    Json::obj(vec![
+                        ("startLine", Json::UInt(e.span.line as u64)),
+                        ("startColumn", Json::UInt(e.span.start_col as u64)),
+                        ("endColumn", Json::UInt(e.span.end_col as u64)),
+                    ]),
+                ),
+                (
+                    "insertedContent",
+                    Json::obj(vec![("text", Json::Str(e.replacement.clone()))]),
+                ),
+            ])
+        })
+        .collect();
+    Json::Arr(vec![Json::obj(vec![
+        (
+            "description",
+            Json::obj(vec![("text", Json::Str(fix.title.clone()))]),
+        ),
+        (
+            "artifactChanges",
+            Json::Arr(vec![Json::obj(vec![
+                (
+                    "artifactLocation",
+                    Json::obj(vec![("uri", Json::Str(path.to_string()))]),
+                ),
+                ("replacements", Json::Arr(replacements)),
+            ])]),
+        ),
+    ])])
 }
 
 #[cfg(test)]

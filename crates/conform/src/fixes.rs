@@ -1,0 +1,203 @@
+//! Autofix engine: structured, mechanical repairs attached to findings.
+//!
+//! A [`Fix`] is a set of non-overlapping single-line text [`Edit`]s over the
+//! *original* source (the `raw` channel). Rules compute their matches on the
+//! blanked code channel — where strings and comments cannot produce false
+//! edits — and translate positions into raw-text spans through
+//! [`crate::scanner::Line::map`].
+//!
+//! Fix-safety rules (see DESIGN.md §14):
+//!
+//! 1. **Mechanical only.** A fix is attached only when the replacement is a
+//!    pure token rewrite whose post-state provably no longer fires the rule
+//!    (`Hash*` → `BTree*`, `.unwrap()` → invariant `.expect`, magic
+//!    bandwidth literal → derived expression, `f64`/`f32` type tokens →
+//!    integer widths). Findings that need human judgment carry no fix.
+//! 2. **Non-overlapping.** [`apply`] sorts edits and refuses (skips) any
+//!    edit that overlaps an already-applied one, so a fix pass is always
+//!    well-defined text surgery.
+//! 3. **Idempotent.** Applying fixes and re-linting yields no further fixes
+//!    for the repaired findings; a second `--fix` run makes zero edits
+//!    (pinned by a meta-test over every fixable fixture).
+
+use crate::scanner::Line;
+
+/// A half-open single-line span over the raw source text, in 1-based char
+/// columns (`start_col..end_col` on line `line`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based char column of the first replaced char.
+    pub start_col: usize,
+    /// 1-based char column one past the last replaced char.
+    pub end_col: usize,
+}
+
+/// One text replacement.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edit {
+    /// The raw-text span to delete.
+    pub span: Span,
+    /// The text inserted in its place.
+    pub replacement: String,
+}
+
+/// A structured fix: one or more edits that together repair a finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// Short description of the repair, e.g. `replace HashMap with BTreeMap`.
+    pub title: String,
+    /// The edits, in source order, pairwise non-overlapping.
+    pub edits: Vec<Edit>,
+}
+
+/// Translates a match over a line's code channel (`start..end`, 0-based char
+/// offsets into `code`) into a raw-text [`Span`] via the scanner's map.
+/// Returns `None` for empty or out-of-range matches.
+pub fn code_span(line: &Line, lineno: usize, start: usize, end: usize) -> Option<Span> {
+    if start >= end || end > line.map.len() {
+        return None;
+    }
+    Some(Span {
+        line: lineno,
+        start_col: line.map[start] as usize + 1,
+        end_col: line.map[end - 1] as usize + 2,
+    })
+}
+
+/// Finds every non-overlapping occurrence of `pat` in `hay` (char offsets).
+pub fn find_all(hay: &[char], pat: &str) -> Vec<usize> {
+    let p: Vec<char> = pat.chars().collect();
+    let mut out = Vec::new();
+    if p.is_empty() || hay.len() < p.len() {
+        return out;
+    }
+    let mut i = 0usize;
+    while i + p.len() <= hay.len() {
+        if hay[i..i + p.len()] == p[..] {
+            out.push(i);
+            i += p.len();
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Applies `edits` to `text`, returning the rewritten text and the number of
+/// edits actually applied. Edits are applied per line, right-to-left so
+/// earlier spans stay valid; an edit overlapping an already-applied one on
+/// the same line is skipped (fix-safety rule 2), as is any edit whose span
+/// falls outside its line.
+pub fn apply(text: &str, edits: &[Edit]) -> (String, usize) {
+    let mut lines: Vec<String> = text.split('\n').map(|l| l.to_string()).collect();
+    let mut sorted: Vec<&Edit> = edits.iter().collect();
+    // Right-to-left within a line; line order is irrelevant.
+    sorted.sort_by_key(|e| std::cmp::Reverse((e.span.line, e.span.start_col)));
+    sorted.dedup();
+    let mut applied = 0usize;
+    // Leftmost already-edited column per line (edits arrive right-to-left).
+    let mut low_water: Vec<(usize, usize)> = Vec::new();
+    for e in sorted {
+        let Some(line) = lines.get_mut(e.span.line.saturating_sub(1)) else {
+            continue;
+        };
+        let chars: Vec<char> = line.chars().collect();
+        let (s, t) = (e.span.start_col - 1, e.span.end_col - 1);
+        if s >= t || t > chars.len() {
+            continue;
+        }
+        if let Some(&(_, low)) = low_water.iter().find(|(l, _)| *l == e.span.line) {
+            if t > low {
+                continue; // overlaps an applied edit — skip, keep the first
+            }
+        }
+        let mut rebuilt: String = chars[..s].iter().collect();
+        rebuilt.push_str(&e.replacement);
+        rebuilt.extend(&chars[t..]);
+        *line = rebuilt;
+        match low_water.iter_mut().find(|(l, _)| *l == e.span.line) {
+            Some(slot) => slot.1 = s,
+            None => low_water.push((e.span.line, s)),
+        }
+        applied += 1;
+    }
+    (lines.join("\n"), applied)
+}
+
+/// Renders a dry-run diff for `--fix --diff`: the classic `---`/`+++` header
+/// per file followed by `-old`/`+new` pairs for every changed line.
+pub fn render_diff(path: &str, before: &str, after: &str) -> String {
+    let mut out = String::new();
+    let old: Vec<&str> = before.split('\n').collect();
+    let new: Vec<&str> = after.split('\n').collect();
+    let mut body = String::new();
+    for (i, (o, n)) in old.iter().zip(new.iter()).enumerate() {
+        if o != n {
+            body.push_str(&format!("@@ line {} @@\n-{}\n+{}\n", i + 1, o, n));
+        }
+    }
+    if !body.is_empty() {
+        out.push_str(&format!("--- {path}\n+++ {path}\n{body}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan_str;
+
+    fn edit(line: usize, s: usize, t: usize, r: &str) -> Edit {
+        Edit {
+            span: Span {
+                line,
+                start_col: s,
+                end_col: t,
+            },
+            replacement: r.to_string(),
+        }
+    }
+
+    #[test]
+    fn apply_rewrites_right_to_left() {
+        let (out, n) = apply(
+            "use HashMap; let m = HashMap::new();\n",
+            &[edit(1, 5, 12, "BTreeMap"), edit(1, 22, 29, "BTreeMap")],
+        );
+        assert_eq!(out, "use BTreeMap; let m = BTreeMap::new();\n");
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn overlapping_edits_keep_the_first_applied() {
+        let (out, n) = apply("abcdef\n", &[edit(1, 2, 5, "XY"), edit(1, 4, 7, "Z")]);
+        // Right-to-left: cols 4..7 applied first; 2..5 overlaps and is skipped.
+        assert_eq!(out, "abcZ\n");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn code_span_skips_blanked_string_contents() {
+        let f = scan_str("crates/core/src/x.rs", "let s = \"HashMap\"; m.len();\n");
+        let line = &f.lines[0];
+        // `m.len()` sits after the blanked string; its code offsets must map
+        // back to the same raw columns.
+        let code_chars: Vec<char> = line.code.chars().collect();
+        let at = find_all(&code_chars, "m.len()")[0];
+        let span = code_span(line, 1, at, at + 7).unwrap();
+        let raw: Vec<char> = line.raw.chars().collect();
+        let got: String = raw[span.start_col - 1..span.end_col - 1].iter().collect();
+        assert_eq!(got, "m.len()");
+    }
+
+    #[test]
+    fn diff_lists_changed_lines_only() {
+        let d = render_diff("a.rs", "one\ntwo\nthree\n", "one\n2\nthree\n");
+        assert!(d.contains("--- a.rs"));
+        assert!(d.contains("-two"));
+        assert!(d.contains("+2"));
+        assert!(!d.contains("-one"));
+    }
+}

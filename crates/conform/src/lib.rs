@@ -14,27 +14,34 @@
 //! no rustc internals, no registry crates): a line/token scanner
 //! ([`scanner`]), a token-tree layer ([`syntax`]) and approximate call
 //! graph ([`callgraph`]) on top of it, a rule set ([`rules`], lexical
-//! R1–R9 plus structural/interprocedural R10–R13), and a justified-pragma
-//! escape hatch ([`pragma`]). Diagnostics are stable
-//! `file:line rule-id message` lines ([`diag`]), with `--json` and
-//! `--sarif` output via `cc_mis_analysis::json`, and `--explain <rule>`
-//! prints each rule's contract, rationale, and fix recipe.
+//! R1–R9 plus structural/interprocedural R10–R15/R20), dataflow rules
+//! R16–R19 ([`dataflow`]), determinism-taint rules R21–R23 ([`taint`]),
+//! and a justified-pragma escape hatch ([`pragma`], with stale-pragma
+//! detection `P2`). Diagnostics are stable `file:line rule-id message`
+//! lines ([`diag`]), with `--json` and `--sarif` output via
+//! `cc_mis_analysis::json`, and `--explain <rule>` prints each rule's
+//! contract, rationale, and fix recipe. Mechanical rules attach structured
+//! [`fixes`] applied by `--fix`; workspace runs reuse a persistent
+//! [`cache`] keyed by content hashes and the rule-set fingerprint.
 //!
 //! Run it with `cargo run -p cc-mis-conform -- --workspace` (or
 //! `scripts/conform.sh`); the process exits nonzero on any finding
-//! (exit 3 if any finding is a P1 pragma violation).
+//! (exit 3 if any finding is severity `error`: P1/R16/R17/R21/R22).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cache;
 pub mod callgraph;
 pub mod dataflow;
 pub mod diag;
+pub mod fixes;
 pub mod pragma;
 pub mod rules;
 pub mod scanner;
 pub mod syntax;
+pub mod taint;
 
 use std::fs;
 use std::io;
@@ -85,15 +92,31 @@ pub struct Timings {
     pub structural_ms: u128,
     /// The dataflow rules (R16–R19).
     pub dataflow_ms: u128,
+    /// The determinism-taint rules (R21–R23) plus stale-pragma detection.
+    pub taint_ms: u128,
+    /// `(hits, misses)` of the persistent workspace cache, when a cached
+    /// run was attempted (see [`cache`]).
+    pub cache: Option<(usize, usize)>,
 }
 
 impl Timings {
     /// Stable multi-line rendering for stderr.
     pub fn render(&self) -> String {
-        format!(
-            "timings: {} file(s)\n  index (lex + parse) {:>5} ms\n  lexical rules       {:>5} ms\n  structural rules    {:>5} ms\n  dataflow rules      {:>5} ms",
-            self.files, self.index_ms, self.lexical_ms, self.structural_ms, self.dataflow_ms
-        )
+        let mut out = format!(
+            "timings: {} file(s)\n  index (lex + parse) {:>5} ms\n  lexical rules       {:>5} ms\n  structural rules    {:>5} ms\n  dataflow rules      {:>5} ms\n  taint rules         {:>5} ms",
+            self.files,
+            self.index_ms,
+            self.lexical_ms,
+            self.structural_ms,
+            self.dataflow_ms,
+            self.taint_ms
+        );
+        if let Some((hits, misses)) = self.cache {
+            out.push_str(&format!(
+                "\n  cache               {hits} hit(s), {misses} miss(es)"
+            ));
+        }
+        out
     }
 }
 
@@ -111,7 +134,28 @@ pub fn check(inputs: &[Input]) -> Vec<Finding> {
 }
 
 /// [`check`] with optional per-phase timing collection.
-pub fn check_with(inputs: &[Input], mut timings: Option<&mut Timings>) -> Vec<Finding> {
+pub fn check_with(inputs: &[Input], timings: Option<&mut Timings>) -> Vec<Finding> {
+    analyze(inputs, timings).findings
+}
+
+/// Full analysis output. The extras beyond `findings` feed the persistent
+/// [`cache`]: the effective path of every `.rs` input (for finding
+/// attribution) and the file-level call-graph edges (for invalidation by
+/// dependency closure).
+pub struct Analysis {
+    /// The sorted findings.
+    pub findings: Vec<Finding>,
+    /// Effective path of each `.rs` input, in `.rs`-input order.
+    pub effectives: Vec<String>,
+    /// Deduplicated file-level call-graph edges, as indices into the
+    /// `.rs`-input order.
+    pub edges: Vec<(u32, u32)>,
+}
+
+/// The full rule pipeline: index once, then lexical, structural, dataflow,
+/// and taint phases, pragma filtering (recording hits for the `P2`
+/// stale-pragma pass), and manifest checks.
+pub fn analyze(inputs: &[Input], mut timings: Option<&mut Timings>) -> Analysis {
     let mut findings = Vec::new();
     let t = clock();
     let mut sources: Vec<scanner::SourceFile> = Vec::new();
@@ -133,6 +177,9 @@ pub fn check_with(inputs: &[Input], mut timings: Option<&mut Timings>) -> Vec<Fi
         .iter()
         .map(|file| pragma::collect(file, &mut findings))
         .collect();
+    // `(pragma line, rule)` pairs that actually suppressed something, per
+    // file — the P2 stale-pragma pass flags the rest.
+    let mut hits: Vec<Vec<(usize, String)>> = vec![Vec::new(); sources.len()];
     let counters = rules::declared_counters(&sources);
     let mut rule_findings = Vec::new();
     for file in &sources {
@@ -143,27 +190,86 @@ pub fn check_with(inputs: &[Input], mut timings: Option<&mut Timings>) -> Vec<Fi
     }
     let t = clock();
     let graph = callgraph::build(&syntaxes);
-    rules::check_structural(&sources, &syntaxes, &graph, &pragmas, &mut rule_findings);
+    rules::check_structural(
+        &sources,
+        &syntaxes,
+        &graph,
+        &pragmas,
+        &mut hits,
+        &mut rule_findings,
+    );
     if let Some(tm) = timings.as_deref_mut() {
         tm.structural_ms = t.elapsed().as_millis();
     }
     let t = clock();
     dataflow::check(&sources, &syntaxes, &graph, &mut rule_findings);
-    if let Some(tm) = timings {
+    if let Some(tm) = timings.as_deref_mut() {
         tm.dataflow_ms = t.elapsed().as_millis();
     }
+    let t = clock();
+    let manifest = inputs
+        .iter()
+        .find(|i| i.path.ends_with("snapshot_manifest.txt"));
+    taint::check(
+        &sources,
+        &syntaxes,
+        manifest.map(|m| (m.path.as_str(), m.text.as_str())),
+        &mut rule_findings,
+    );
     rule_findings.retain(|f| {
         let Some(fi) = sources.iter().position(|s| s.effective == f.path) else {
             return true;
         };
-        !pragma::suppressed(&pragmas[fi], f.rule, f.line)
+        match pragma::suppressing(&pragmas[fi], f.rule, f.line) {
+            Some(pline) => {
+                hits[fi].push((pline, f.rule.to_string()));
+                false
+            }
+            None => true,
+        }
     });
+    for (fi, file) in sources.iter().enumerate() {
+        pragma::check_stale(&file.effective, &pragmas[fi], &hits[fi], &mut findings);
+    }
+    if let Some(tm) = timings {
+        tm.taint_ms = t.elapsed().as_millis();
+    }
     findings.append(&mut rule_findings);
     for input in inputs.iter().filter(|i| i.path.ends_with(".toml")) {
         rules::check_manifest(&input.path, &input.text, &mut findings);
     }
     diag::sort(&mut findings);
-    findings
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (i, callees) in graph.callees.iter().enumerate() {
+        let from = graph.nodes[i].file as u32;
+        for &j in callees {
+            let to = graph.nodes[j].file as u32;
+            if from != to {
+                edges.push((from, to));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Analysis {
+        findings,
+        effectives: sources.iter().map(|s| s.effective.clone()).collect(),
+        edges,
+    }
+}
+
+/// Renders the snapshot manifest (`--update-snapshot-manifest`) for the
+/// given inputs: the pinned `Execution::save` write sequences R22 checks
+/// against. See [`taint`].
+pub fn snapshot_manifest(inputs: &[Input]) -> String {
+    let mut sources: Vec<scanner::SourceFile> = Vec::new();
+    let mut syntaxes: Vec<syntax::FileSyntax> = Vec::new();
+    for input in inputs.iter().filter(|i| i.path.ends_with(".rs")) {
+        let ix = index_str(&input.path, &input.text);
+        sources.push(ix.source);
+        syntaxes.push(ix.syntax);
+    }
+    taint::render_manifest(&sources, &syntaxes)
 }
 
 /// Walks the workspace at `root` and checks every tracked `.rs` source and
@@ -178,6 +284,12 @@ pub fn check_workspace_with(
     root: &Path,
     timings: Option<&mut Timings>,
 ) -> io::Result<Vec<Finding>> {
+    Ok(check_with(&workspace_inputs(root)?, timings))
+}
+
+/// Reads every lintable workspace file under `root` into [`Input`]s, in
+/// sorted path order (the order the cache's file table relies on).
+pub fn workspace_inputs(root: &Path) -> io::Result<Vec<Input>> {
     let mut paths = Vec::new();
     collect_paths(root, root, &mut paths)?;
     paths.sort();
@@ -186,7 +298,45 @@ pub fn check_workspace_with(
         let text = fs::read_to_string(root.join(&rel))?;
         inputs.push(Input { path: rel, text });
     }
-    Ok(check_with(&inputs, timings))
+    Ok(inputs)
+}
+
+/// [`check_workspace_with`] through the persistent cache at
+/// `target/conform-cache.bin` under `root`: when nothing changed since the
+/// cached run (same rule set, same file table, same content hashes) the
+/// cached findings are returned without lexing or parsing anything; any
+/// change falls back to a full run and rewrites the cache. Hit/miss counts
+/// land in `timings.cache`.
+pub fn check_workspace_cached(
+    root: &Path,
+    mut timings: Option<&mut Timings>,
+) -> io::Result<Vec<Finding>> {
+    let inputs = workspace_inputs(root)?;
+    let cache_path = root.join("target").join("conform-cache.bin");
+    let hashes: Vec<(String, u64)> = inputs
+        .iter()
+        .map(|i| (i.path.clone(), cache::content_hash(&i.text)))
+        .collect();
+    let loaded = cache::load(&cache_path);
+    if let Some(c) = &loaded {
+        if c.full_hit(&hashes) {
+            if let Some(tm) = timings {
+                tm.files = inputs.iter().filter(|i| i.path.ends_with(".rs")).count();
+                tm.cache = Some((inputs.len(), 0));
+            }
+            return Ok(c.findings.clone());
+        }
+    }
+    let (hits, misses) = match &loaded {
+        Some(c) => c.damage(&hashes),
+        None => (0, inputs.len()),
+    };
+    let analysis = analyze(&inputs, timings.as_deref_mut());
+    if let Some(tm) = timings {
+        tm.cache = Some((hits, misses));
+    }
+    cache::store(&cache_path, &inputs, &hashes, &analysis);
+    Ok(analysis.findings)
 }
 
 fn collect_paths(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
@@ -201,7 +351,7 @@ fn collect_paths(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<(
                 continue;
             }
             collect_paths(root, &path, out)?;
-        } else if name == "Cargo.toml" || name.ends_with(".rs") {
+        } else if name == "Cargo.toml" || name == "snapshot_manifest.txt" || name.ends_with(".rs") {
             let rel = path
                 .strip_prefix(root)
                 .unwrap_or(&path)
@@ -311,9 +461,28 @@ mod tests {
         assert!(findings.is_empty(), "{findings:?}");
         assert_eq!(t.files, 1);
         let rendered = t.render();
-        for phase in ["index", "lexical", "structural", "dataflow"] {
+        for phase in ["index", "lexical", "structural", "dataflow", "taint"] {
             assert!(rendered.contains(phase), "{rendered}");
         }
+        assert!(
+            !rendered.contains("cache"),
+            "no cache line without a cached run: {rendered}"
+        );
+    }
+
+    #[test]
+    fn stale_pragma_is_flagged_and_live_pragma_is_not() {
+        // Live: R1 fires on the next line and is suppressed — no P2.
+        let live = "// conform: allow(R1) -- demo of the escape hatch\n\
+                    use std::collections::HashMap;\n";
+        assert!(check(&[rs("crates/core/src/x.rs", live)]).is_empty());
+        // Stale: nothing on the covered lines ever fires R1.
+        let stale = "// conform: allow(R1) -- left behind after a refactor\n\
+                     pub fn f() -> u32 { 1 }\n";
+        let findings = check(&[rs("crates/core/src/x.rs", stale)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "P2");
+        assert_eq!(findings[0].line, 1);
     }
 
     #[test]

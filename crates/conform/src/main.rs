@@ -6,6 +6,10 @@
 //! cc-mis-conform --sarif out.sarif      # also write a SARIF 2.1.0 log
 //! cc-mis-conform --baseline base.txt    # gate on *new* findings only
 //! cc-mis-conform --timings              # per-phase wall clock on stderr
+//! cc-mis-conform --fix                  # apply mechanical fixes in place
+//! cc-mis-conform --fix --diff           # dry run: print the would-be diff
+//! cc-mis-conform --no-cache             # skip the persistent result cache
+//! cc-mis-conform --update-snapshot-manifest  # re-pin save() sequences (R22)
 //! cc-mis-conform --list-rules           # print the rule set
 //! cc-mis-conform --explain R10          # contract, rationale, fix recipe
 //! cc-mis-conform --root DIR [PATH...]   # lint specific files/dirs under DIR
@@ -13,10 +17,14 @@
 //!
 //! Exits 0 on a conform-clean tree, 1 on rule findings, 3 on any
 //! error-severity finding (`P1` broken escape hatch, `R16` pool leak,
-//! `R17` snapshot-parity break), 2 on usage or I/O errors. Diagnostics are
+//! `R17` snapshot-parity break, `R21` determinism taint, `R22`
+//! snapshot-format drift), 2 on usage or I/O errors. Diagnostics are
 //! stable `file:line rule-id message` lines. With `--baseline PATH`, the
 //! first run writes a normalized snapshot of current findings and later
 //! runs subtract it — error-severity findings always surface.
+//!
+//! Workspace runs reuse `target/conform-cache.bin` (content-hash keyed;
+//! `--timings` reports hits/misses); `--no-cache` and `--fix` bypass it.
 
 #![forbid(unsafe_code)]
 
@@ -24,11 +32,13 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use cc_mis_conform::{
-    baseline, check_with, check_workspace_with, diag, find_workspace_root, rules, Input, Timings,
+    baseline, check_with, check_workspace_cached, check_workspace_with, diag, find_workspace_root,
+    fixes, rules, scanner, snapshot_manifest, workspace_inputs, Finding, Input, Timings,
 };
 
 const USAGE: &str = "usage: cc-mis-conform [--workspace] [--json] [--sarif PATH] \
-                     [--baseline PATH] [--timings] [--list-rules] \
+                     [--baseline PATH] [--timings] [--fix [--diff]] [--no-cache] \
+                     [--update-snapshot-manifest] [--list-rules] \
                      [--explain RULE] [--root DIR] [PATH...]";
 
 fn main() -> ExitCode {
@@ -39,6 +49,10 @@ fn main() -> ExitCode {
     let mut sarif: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut timings = false;
+    let mut fix = false;
+    let mut diff = false;
+    let mut no_cache = false;
+    let mut update_manifest = false;
     let mut root: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
@@ -47,6 +61,10 @@ fn main() -> ExitCode {
             "--workspace" => {}
             "--json" => json = true,
             "--timings" => timings = true,
+            "--fix" => fix = true,
+            "--diff" => diff = true,
+            "--no-cache" => no_cache = true,
+            "--update-snapshot-manifest" => update_manifest = true,
             "--list-rules" => list_rules = true,
             "--explain" => match it.next() {
                 Some(rule) => explain = Some(rule.clone()),
@@ -96,6 +114,35 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if diff && !fix {
+        return usage_error("--diff only makes sense together with --fix");
+    }
+
+    if update_manifest {
+        let start = root.clone().unwrap_or_else(|| PathBuf::from("."));
+        let Some(ws) = find_workspace_root(&start) else {
+            eprintln!(
+                "error: no workspace root (Cargo.toml with [workspace]) at or above {}",
+                start.display()
+            );
+            return ExitCode::from(2);
+        };
+        let out = ws.join("crates/conform/snapshot_manifest.txt");
+        let result = workspace_inputs(&ws)
+            .map(|inputs| snapshot_manifest(&inputs))
+            .and_then(|text| std::fs::write(&out, text));
+        return match result {
+            Ok(()) => {
+                eprintln!("conform: snapshot manifest written to {}", out.display());
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let mut phase_times = Timings::default();
     let mut findings = if paths.is_empty() {
         let start = root.clone().unwrap_or_else(|| PathBuf::from("."));
@@ -106,7 +153,21 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(2);
         };
-        match check_workspace_with(&ws, timings.then_some(&mut phase_times)) {
+        // `--fix` rewrites files the cache would key on, so it (like
+        // `--no-cache`) runs the full pipeline.
+        let result = if fix {
+            workspace_inputs(&ws).map(|inputs| {
+                let findings = check_with(&inputs, timings.then_some(&mut phase_times));
+                let disks: Vec<PathBuf> = inputs.iter().map(|i| ws.join(&i.path)).collect();
+                apply_fixes(&inputs, &disks, &findings, diff);
+                findings
+            })
+        } else if no_cache {
+            check_workspace_with(&ws, timings.then_some(&mut phase_times))
+        } else {
+            check_workspace_cached(&ws, timings.then_some(&mut phase_times))
+        };
+        match result {
             Ok(findings) => findings,
             Err(err) => {
                 eprintln!("error: {err}");
@@ -116,7 +177,13 @@ fn main() -> ExitCode {
     } else {
         let base = root.unwrap_or_else(|| PathBuf::from("."));
         match read_inputs(&base, &paths) {
-            Ok(inputs) => check_with(&inputs, timings.then_some(&mut phase_times)),
+            Ok((inputs, disks)) => {
+                let findings = check_with(&inputs, timings.then_some(&mut phase_times));
+                if fix {
+                    apply_fixes(&inputs, &disks, &findings, diff);
+                }
+                findings
+            }
             Err(err) => {
                 eprintln!("error: {err}");
                 return ExitCode::from(2);
@@ -182,9 +249,11 @@ fn usage_error(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Reads explicit file arguments (relative to `base` unless absolute).
-fn read_inputs(base: &Path, paths: &[PathBuf]) -> std::io::Result<Vec<Input>> {
+/// Reads explicit file arguments (relative to `base` unless absolute),
+/// returning the inputs plus their on-disk paths (for `--fix`).
+fn read_inputs(base: &Path, paths: &[PathBuf]) -> std::io::Result<(Vec<Input>, Vec<PathBuf>)> {
     let mut inputs = Vec::new();
+    let mut disks = Vec::new();
     for p in paths {
         let full = if p.is_absolute() {
             p.clone()
@@ -196,6 +265,44 @@ fn read_inputs(base: &Path, paths: &[PathBuf]) -> std::io::Result<Vec<Input>> {
             path: p.to_string_lossy().replace('\\', "/"),
             text,
         });
+        disks.push(full);
     }
-    Ok(inputs)
+    Ok((inputs, disks))
+}
+
+/// Applies (or, with `diff`, previews) every mechanical fix in `findings`.
+/// Findings are keyed by *effective* path; each is mapped back to the
+/// on-disk input whose effective path matches, then all of that file's
+/// edits are applied in one right-to-left pass.
+fn apply_fixes(inputs: &[Input], disks: &[PathBuf], findings: &[Finding], diff: bool) {
+    let mut total_edits = 0usize;
+    let mut files_changed = 0usize;
+    for (input, disk) in inputs.iter().zip(disks) {
+        let effective = scanner::effective_path(&input.path, &input.text);
+        let edits: Vec<fixes::Edit> = findings
+            .iter()
+            .filter(|f| f.path == effective)
+            .filter_map(|f| f.fix.as_ref())
+            .flat_map(|fix| fix.edits.iter().cloned())
+            .collect();
+        if edits.is_empty() {
+            continue;
+        }
+        let (after, applied) = fixes::apply(&input.text, &edits);
+        if applied == 0 || after == input.text {
+            continue;
+        }
+        if diff {
+            print!("{}", fixes::render_diff(&input.path, &input.text, &after));
+        } else if let Err(err) = std::fs::write(disk, &after) {
+            eprintln!("error: writing {}: {err}", disk.display());
+            continue;
+        }
+        total_edits += applied;
+        files_changed += 1;
+    }
+    eprintln!(
+        "conform: {total_edits} fix(es) across {files_changed} file(s){}",
+        if diff { " (dry run)" } else { "" }
+    );
 }

@@ -11,6 +11,14 @@
 //! followed by ` -- <justification>`. The justification is **mandatory** — an allow with no reason is itself a
 //! conformance finding (`P1`), as is an allow naming an unknown rule. A
 //! pragma applies to its own line and the immediately following line.
+//!
+//! Only plain `//` comments carry pragmas: doc comments (`///`, `//!`)
+//! are rendered documentation, so a pragma-shaped line there (like the
+//! example above) illustrates the grammar without directing the linter —
+//! and without tripping the `P2` stale-pragma audit.
+//!
+//! A pragma that suppresses nothing is itself a finding (`P2`): every
+//! waiver in the audit trail must still be pulling its weight.
 
 use crate::diag::Finding;
 use crate::rules::rule_exists;
@@ -34,6 +42,11 @@ pub fn collect(file: &SourceFile, findings: &mut Vec<Finding>) -> Vec<Pragma> {
         let Some(at) = line.comment.find("conform:") else {
             continue;
         };
+        // Doc comments document; only plain comments direct the linter.
+        let trimmed = line.raw.trim_start();
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+            continue;
+        }
         let lineno = idx + 1;
         let body = line.comment[at + "conform:".len()..].trim();
         match parse(body) {
@@ -86,9 +99,45 @@ fn parse(body: &str) -> Result<Vec<String>, String> {
 /// True if `pragmas` suppress `rule` at 1-based line `lineno` (a pragma
 /// covers its own line and the next one).
 pub fn suppressed(pragmas: &[Pragma], rule: &str, lineno: usize) -> bool {
+    suppressing(pragmas, rule, lineno).is_some()
+}
+
+/// Like [`suppressed`], but returns the line of the pragma doing the
+/// suppressing — callers record it as a "hit" so the P2 stale-pragma pass
+/// knows which `(pragma, rule)` pairs still pull their weight.
+pub fn suppressing(pragmas: &[Pragma], rule: &str, lineno: usize) -> Option<usize> {
     pragmas
         .iter()
-        .any(|p| (p.line == lineno || p.line + 1 == lineno) && p.rules.iter().any(|r| r == rule))
+        .find(|p| (p.line == lineno || p.line + 1 == lineno) && p.rules.iter().any(|r| r == rule))
+        .map(|p| p.line)
+}
+
+/// Emits a P2 finding for every `(pragma, rule)` pair in `pragmas` that
+/// registered no hit — the rule never fired (suppressed) at that site, so
+/// the pragma is stale debt.
+pub fn check_stale(
+    effective: &str,
+    pragmas: &[Pragma],
+    hits: &[(usize, String)],
+    findings: &mut Vec<Finding>,
+) {
+    for p in pragmas {
+        for rule in &p.rules {
+            if hits.iter().any(|(l, r)| *l == p.line && r == rule) {
+                continue;
+            }
+            findings.push(Finding::new(
+                effective,
+                p.line,
+                "P2",
+                format!(
+                    "stale pragma: `allow({rule})` suppresses nothing here — the rule no \
+                     longer fires at this site; delete the pragma (or drop `{rule}` from \
+                     it) so the audit trail only lists live waivers"
+                ),
+            ));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +185,31 @@ mod tests {
         let (p, f) = pragmas_of("// conform: disallow(R1) -- x\n");
         assert!(p.is_empty());
         assert_eq!(f[0].rule, "P1");
+    }
+
+    #[test]
+    fn doc_comment_pragmas_are_documentation_not_directives() {
+        let (p, f) = pragmas_of(
+            "//! // conform: allow(R1) -- grammar example in module docs\n\
+             /// // conform: allow(R1)\n",
+        );
+        assert!(p.is_empty(), "{p:?}");
+        assert!(f.is_empty(), "a malformed doc example is not a P1: {f:?}");
+    }
+
+    #[test]
+    fn stale_pragma_rules_are_reported_individually() {
+        let (p, _) = pragmas_of("// conform: allow(R1, R5) -- scaffolding\n");
+        let mut findings = Vec::new();
+        // Only R1 registered a hit; R5 is stale.
+        check_stale(
+            "crates/core/src/x.rs",
+            &p,
+            &[(1, "R1".to_string())],
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "P2");
+        assert!(findings[0].message.contains("allow(R5)"), "{findings:?}");
     }
 }

@@ -10,6 +10,7 @@ use std::collections::BTreeSet;
 
 use crate::callgraph::{CallGraph, FnNode};
 use crate::diag::Finding;
+use crate::fixes::{self, Edit, Fix};
 use crate::pragma::{self, Pragma};
 use crate::scanner::{Line, SourceFile};
 use crate::syntax::{
@@ -296,6 +297,47 @@ pub const RULES: &[RuleInfo] = &[
               that forward to an inner execution belong in their own `fn step`",
     },
     RuleInfo {
+        id: "R21",
+        summary: "determinism taint: shard indices, thread counts, and CC_MIS_* env reads \
+                  never flow into ledger charges, RNG seeding, or snapshot writes",
+        contract: "in crates/core and crates/sim library code, no value derived from a \
+                   par_nodes shard index, thread_count()/available_parallelism(), or a \
+                   std::env read appears as an argument to a .charge_* call, a \
+                   SplitMix64/SharedRandomness constructor, or a SnapshotWriter write_*",
+        rationale: "scheduling identity is the one input allowed to vary between runs of \
+                    the same (seed, graph, params); the moment it seeds a stream, bills \
+                    a ledger, or lands in a checkpoint, bit-determinism and \
+                    resume-equivalence silently depend on the machine",
+        fix: "derive the value from simulation state (node ids, round numbers, the \
+              seed) instead; thread counts and shard indices may steer scheduling only",
+    },
+    RuleInfo {
+        id: "R22",
+        summary: "snapshot-format pinning: each `impl Execution` save() write sequence is \
+                  fingerprinted against crates/conform/snapshot_manifest.txt",
+        contract: "the ordered SnapshotWriter call sequence of every non-test \
+                   `Execution::save` matches the committed manifest entry for that impl; \
+                   changing a sequence requires bumping the snapshot VERSION or \
+                   regenerating the manifest (conform --update-snapshot-manifest)",
+        rationale: "checkpoint fault tolerance depends on old snapshots restoring \
+                    byte-exactly; a silent field reorder under an unchanged VERSION \
+                    restores garbage without a SnapshotError, and R17 cannot see it \
+                    because save and restore drift together",
+        fix: "bump `snapshot::VERSION` for a deliberate format change, then run \
+              `conform --update-snapshot-manifest` to re-pin the sequences",
+    },
+    RuleInfo {
+        id: "R23",
+        summary: "env-read discipline: std::env reads in crates/core and crates/sim live \
+                  only in crates/sim/src/config.rs",
+        contract: "library code in crates/core/src and crates/sim/src calls \
+                   env::var/env::var_os/env::vars only inside the central config module",
+        rationale: "environment variables are ambient per-process state; funneling every \
+                    read through one module keeps the full set of knobs auditable and \
+                    lets R21 verify each one is scheduling-only",
+        fix: "add an accessor to crates/sim/src/config.rs and call that",
+    },
+    RuleInfo {
         id: "P1",
         summary: "conform pragmas must be well-formed, name known rules, and carry a \
                   justification",
@@ -304,6 +346,18 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "the escape hatch is part of the audit trail: an unjustified allow is \
                     indistinguishable from a silenced bug",
         fix: "write `// conform: allow(Rn) -- <why this site is sound>`",
+    },
+    RuleInfo {
+        id: "P2",
+        summary: "stale pragmas: a justified allow(RN) that no longer suppresses any \
+                  finding at its site is reported so pragma debt cannot accrete",
+        contract: "every rule named by a conform pragma actually fires (and is \
+                   suppressed) at the pragma's site during the run",
+        rationale: "a pragma that outlives its finding is pure audit noise: it documents \
+                    a waiver for a hazard that no longer exists, and it would silently \
+                    re-arm if the hazard ever returned in a different shape",
+        fix: "delete the pragma (or the rule id within it) once the code it excused \
+              has been fixed or removed",
     },
 ];
 
@@ -401,7 +455,7 @@ pub fn check_file(file: &SourceFile, counters: &[String], findings: &mut Vec<Fin
         if in_sim_core(path) {
             for pat in ["HashMap", "HashSet", "hash_map::", "hash_set::"] {
                 if code.contains(pat) {
-                    findings.push(Finding::new(
+                    let finding = Finding::new(
                         path,
                         lineno,
                         "R1",
@@ -410,7 +464,11 @@ pub fn check_file(file: &SourceFile, counters: &[String], findings: &mut Vec<Fin
                              deterministic-replay contract; use BTreeMap/BTreeSet or an \
                              index-based Vec"
                         ),
-                    ));
+                    );
+                    findings.push(match r1_fix(line, lineno) {
+                        Some(fix) => finding.with_fix(fix),
+                        None => finding,
+                    });
                     break;
                 }
             }
@@ -465,21 +523,29 @@ pub fn check_file(file: &SourceFile, counters: &[String], findings: &mut Vec<Fin
         // R5 — panics must state the violated invariant.
         if in_sim_core(path) {
             if code.contains(".unwrap()") {
-                findings.push(Finding::new(
+                let finding = Finding::new(
                     path,
                     lineno,
                     "R5",
                     "bare `unwrap()` in library code: use `expect(\"<invariant>\")` or a typed \
                      error so a panic names the broken invariant",
-                ));
+                );
+                findings.push(match r5_unwrap_fix(line, lineno) {
+                    Some(fix) => finding.with_fix(fix),
+                    None => finding,
+                });
             }
             if let Some(msg) = short_expect_message(line) {
-                findings.push(Finding::new(
+                let finding = Finding::new(
                     path,
                     lineno,
                     "R5",
                     format!("`expect(\"{msg}\")` message too short to state an invariant"),
-                ));
+                );
+                findings.push(match r5_expect_fix(line, lineno, &msg) {
+                    Some(fix) => finding.with_fix(fix),
+                    None => finding,
+                });
             }
         }
 
@@ -606,6 +672,80 @@ fn short_expect_message(line: &Line) -> Option<String> {
     (msg.chars().count() < 4).then(|| msg.to_string())
 }
 
+/// R1 autofix: swap every hash-collection token on the line for its ordered
+/// counterpart. All four patterns are rewritten at once (one finding per
+/// line, but the fix must leave the line clean), via the code channel so
+/// strings and comments are untouched.
+fn r1_fix(line: &Line, lineno: usize) -> Option<Fix> {
+    const SWAPS: &[(&str, &str)] = &[
+        ("HashMap", "BTreeMap"),
+        ("HashSet", "BTreeSet"),
+        ("hash_map::", "btree_map::"),
+        ("hash_set::", "btree_set::"),
+    ];
+    let chars: Vec<char> = line.code.chars().collect();
+    let mut edits = Vec::new();
+    for (pat, repl) in SWAPS {
+        for at in fixes::find_all(&chars, pat) {
+            let span = fixes::code_span(line, lineno, at, at + pat.chars().count())?;
+            edits.push(Edit {
+                span,
+                replacement: repl.to_string(),
+            });
+        }
+    }
+    (!edits.is_empty()).then(|| Fix {
+        title: "replace hash collections with BTree counterparts".to_string(),
+        edits,
+    })
+}
+
+/// R5 autofix for bare `.unwrap()`: rewrite every occurrence on the line to
+/// an invariant-naming `.expect` (the placeholder message passes the rule
+/// and tells the reader exactly what to refine).
+fn r5_unwrap_fix(line: &Line, lineno: usize) -> Option<Fix> {
+    let chars: Vec<char> = line.code.chars().collect();
+    let pat = ".unwrap()";
+    let edits: Vec<Edit> = fixes::find_all(&chars, pat)
+        .into_iter()
+        .filter_map(|at| {
+            Some(Edit {
+                span: fixes::code_span(line, lineno, at, at + pat.len())?,
+                replacement: ".expect(\"invariant violated\")".to_string(),
+            })
+        })
+        .collect();
+    (!edits.is_empty()).then(|| Fix {
+        title: "replace bare unwrap() with an invariant-naming expect".to_string(),
+        edits,
+    })
+}
+
+/// R5 autofix for a too-short `expect("…")` message: prefix it with
+/// `invariant: ` (spans computed on the raw channel, where string contents
+/// survive — the string literal is exactly what changes).
+fn r5_expect_fix(line: &Line, lineno: usize, msg: &str) -> Option<Fix> {
+    let raw_at = line.raw.find(".expect(\"")?;
+    let open = raw_at + ".expect(".len();
+    let close = open + 1 + msg.len();
+    if line.raw.as_bytes().get(close) != Some(&b'"') {
+        return None;
+    }
+    let start_col = line.raw[..open].chars().count() + 1;
+    let end_col = line.raw[..=close].chars().count() + 1;
+    Some(Fix {
+        title: "prefix the expect message with the invariant marker".to_string(),
+        edits: vec![Edit {
+            span: fixes::Span {
+                line: lineno,
+                start_col,
+                end_col,
+            },
+            replacement: format!("\"invariant: {msg}\""),
+        }],
+    })
+}
+
 const ENGINE_CTORS: &[&str] = &[
     "CliqueEngine::strict(",
     "CliqueEngine::audit(",
@@ -641,7 +781,7 @@ fn check_bandwidth_literals(file: &SourceFile, idx: usize, findings: &mut Vec<Fi
                 .trim_end_matches("u64")
                 .trim_end_matches('_');
             if !b.is_empty() && b.chars().all(|c| c.is_ascii_digit() || c == '_') {
-                findings.push(Finding::new(
+                let finding = Finding::new(
                     path,
                     idx + 1,
                     "R7",
@@ -651,10 +791,45 @@ fn check_bandwidth_literals(file: &SourceFile, idx: usize, findings: &mut Vec<Fi
                          so the Lemma 2.12/2.14 bounds stay auditable",
                         pat.trim_end_matches('(')
                     ),
-                ));
+                );
+                let fix = r7_fix(&file.lines[idx], idx + 1, at, pat, &args);
+                findings.push(match fix {
+                    Some(fix) => finding.with_fix(fix),
+                    None => finding,
+                });
             }
         }
     }
+}
+
+/// R7 autofix: replace the magic bandwidth literal with the named O(log n)
+/// constant derived from the constructor's own node-count argument.
+/// Attached only when the whole argument list sits on the call line, so the
+/// span is a plain single-line replacement.
+fn r7_fix(line: &Line, lineno: usize, at: usize, pat: &str, args: &[String]) -> Option<Fix> {
+    let tail = &line.code[at + pat.len()..];
+    let line_args = top_level_args(tail)?;
+    if line_args.len() < 2 || line_args.get(1) != args.get(1) {
+        return None;
+    }
+    let n_expr = line_args[0].trim();
+    if n_expr.is_empty() {
+        return None;
+    }
+    let lead = line_args[1]
+        .chars()
+        .take_while(|c| c.is_whitespace())
+        .count();
+    let start =
+        line.code[..at + pat.len()].chars().count() + line_args[0].chars().count() + 1 + lead;
+    let end = start + line_args[1].chars().count() - lead;
+    Some(Fix {
+        title: "derive the bandwidth from the named O(log n) constant".to_string(),
+        edits: vec![Edit {
+            span: fixes::code_span(line, lineno, start, end)?,
+            replacement: format!("cc_mis_sim::bits::standard_bandwidth({n_expr})"),
+        }],
+    })
 }
 
 /// Splits the text of an argument list (starting just after the opening
@@ -771,18 +946,21 @@ fn registry_finding(path: &str, line: usize, name: &str) -> Finding {
 /// Runs the structural rules R10–R13, R15, and R20 over the whole parsed
 /// workspace.
 ///
-/// `syntaxes` and `pragmas` must be index-aligned with the `.rs` sources
-/// the call graph was built from. Pragmas are consulted here (not only in
-/// the caller's final filter) because a justified `allow(R10)` on a charge
-/// site must also stop the caller-side propagation.
+/// `syntaxes`, `pragmas`, and `hits` must be index-aligned with the `.rs`
+/// sources the call graph was built from. Pragmas are consulted here (not
+/// only in the caller's final filter) because a justified `allow(R10)` on a
+/// charge site must also stop the caller-side propagation; every
+/// suppression is recorded in `hits` as `(pragma_line, rule)` so the P2
+/// stale-pragma pass can see which pragmas earned their keep.
 pub fn check_structural(
     sources: &[SourceFile],
     syntaxes: &[FileSyntax],
     graph: &CallGraph,
     pragmas: &[Vec<Pragma>],
+    hits: &mut [Vec<(usize, String)>],
     findings: &mut Vec<Finding>,
 ) {
-    check_r10(syntaxes, graph, pragmas, findings);
+    check_r10(syntaxes, graph, pragmas, hits, findings);
     check_r11(syntaxes, findings);
     check_r12(syntaxes, graph, findings);
     check_r13(sources, syntaxes, findings);
@@ -797,6 +975,7 @@ fn check_r10(
     syntaxes: &[FileSyntax],
     graph: &CallGraph,
     pragmas: &[Vec<Pragma>],
+    hits: &mut [Vec<(usize, String)>],
     findings: &mut Vec<Finding>,
 ) {
     let admit = |n: &FnNode| {
@@ -810,10 +989,11 @@ fn check_r10(
             continue;
         }
         for call in &node.calls {
-            if call.method
-                && call.name.starts_with("charge_")
-                && !pragma::suppressed(&pragmas[node.file], "R10", call.line)
-            {
+            if call.method && call.name.starts_with("charge_") {
+                if let Some(pline) = pragma::suppressing(&pragmas[node.file], "R10", call.line) {
+                    hits[node.file].push((pline, "R10".to_string()));
+                    continue;
+                }
                 findings.push(Finding::new(
                     &syntaxes[node.file].effective,
                     call.line,
@@ -1107,23 +1287,69 @@ fn check_r13(sources: &[SourceFile], syntaxes: &[FileSyntax], findings: &mut Vec
             continue;
         }
         let lines = &sources[fi].lines;
-        let mut seen = BTreeSet::new();
+        // Per offending line: the first offense description, and whether a
+        // float *literal* appears (which blocks the mechanical type fix).
+        let mut offenses: Vec<(usize, String, bool)> = Vec::new();
         visit_float_tokens(&fs.roots, &mut |line, what| {
-            let in_test = lines.get(line - 1).is_some_and(|l| l.in_test);
-            if !in_test && seen.insert(line) {
-                findings.push(Finding::new(
-                    path,
-                    line,
-                    "R13",
-                    format!(
-                        "{what} in an accounting module: ledger bookkeeping must be \
-                         integer-exact (float accumulation is rounding-order dependent); \
-                         keep counters u64 and compare via cross-multiplication"
-                    ),
-                ));
+            let lit = what == "float literal";
+            match offenses.iter_mut().find(|(l, _, _)| *l == line) {
+                Some(slot) => slot.2 |= lit,
+                None => offenses.push((line, what.to_string(), lit)),
             }
         });
+        offenses.sort_by_key(|&(l, _, _)| l);
+        for (lineno, what, has_literal) in offenses {
+            let Some(line) = lines.get(lineno - 1) else {
+                continue;
+            };
+            if line.in_test {
+                continue;
+            }
+            let finding = Finding::new(
+                path,
+                lineno,
+                "R13",
+                format!(
+                    "{what} in an accounting module: ledger bookkeeping must be \
+                     integer-exact (float accumulation is rounding-order dependent); \
+                     keep counters u64 and compare via cross-multiplication"
+                ),
+            );
+            // Fix only when every offense on the line is a type token: a
+            // width swap (f64→u64, f32→u32) is mechanical, a literal is not.
+            let fix = (!has_literal).then(|| r13_fix(line, lineno)).flatten();
+            findings.push(match fix {
+                Some(fix) => finding.with_fix(fix),
+                None => finding,
+            });
+        }
     }
+}
+
+/// R13 autofix: rewrite every standalone `f64`/`f32` type token on the line
+/// to the matching integer width.
+fn r13_fix(line: &Line, lineno: usize) -> Option<Fix> {
+    let chars: Vec<char> = line.code.chars().collect();
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut edits = Vec::new();
+    for (pat, repl) in [("f64", "u64"), ("f32", "u32")] {
+        for at in fixes::find_all(&chars, pat) {
+            let end = at + 3;
+            let standalone =
+                (at == 0 || !ident(chars[at - 1])) && (end == chars.len() || !ident(chars[end]));
+            if !standalone {
+                continue;
+            }
+            edits.push(Edit {
+                span: fixes::code_span(line, lineno, at, end)?,
+                replacement: repl.to_string(),
+            });
+        }
+    }
+    (!edits.is_empty()).then(|| Fix {
+        title: "replace float accounting types with integer widths".to_string(),
+        edits,
+    })
 }
 
 /// R15: the round hot paths are allocation-free — the bodies of

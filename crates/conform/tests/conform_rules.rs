@@ -6,7 +6,7 @@
 //! workspace walker skips `fixtures/` directories, so the deliberately
 //! violating files here never fail the live-tree scan.
 
-use cc_mis_conform::{check, Finding, Input};
+use cc_mis_conform::{check, fixes, Finding, Input};
 
 /// Loads a fixture by file name, keyed to the crate's own manifest dir so
 /// the test works from any working directory.
@@ -334,17 +334,158 @@ fn r20_step_calls_stay_in_the_driver_and_scheduler() {
     }
 }
 
-/// Maps a rule id to its (firing, clean) fixture file names.
-fn fixture_pair(id: &str) -> (String, String) {
+#[test]
+fn r21_scheduling_identity_must_not_reach_charges_seeds_or_snapshots() {
+    let firing = check(&[fixture("r21_fires.rs")]);
+    let r21: Vec<&Finding> = firing.iter().filter(|f| f.rule == "R21").collect();
+    // The shard-index RNG seed and the thread-count snapshot write.
+    assert_eq!(r21.len(), 2, "{firing:?}");
+    assert!(
+        r21.iter()
+            .any(|f| f.message.contains("seeds an RNG stream")),
+        "{firing:?}"
+    );
+    assert!(
+        r21.iter()
+            .any(|f| f.message.contains("writes it into a snapshot")),
+        "{firing:?}"
+    );
+    // Determinism taint voids replay equivalence: error severity.
+    assert!(r21.iter().all(|f| f.severity() == "error"), "{firing:?}");
+    let clean = check(&[fixture("r21_clean.rs")]);
+    assert!(clean.is_empty(), "scheduling-only use is fine: {clean:?}");
+}
+
+#[test]
+fn r22_write_sequence_drift_without_a_version_bump() {
+    // save/restore agree (R17 silent) but the order drifted from the
+    // committed manifest: exactly the co-drift only a third copy can see.
+    let firing = check(&[
+        fixture("r22_fires.rs"),
+        fixture("r22_fires_snapshot_manifest.txt"),
+    ]);
+    let r22: Vec<&Finding> = firing.iter().filter(|f| f.rule == "R22").collect();
+    assert_eq!(r22.len(), 1, "{firing:?}");
+    assert!(
+        r22[0].message.contains("without a snapshot VERSION bump")
+            && r22[0].message.contains("DemoSnap"),
+        "{firing:?}"
+    );
+    assert!(!firing.iter().any(|f| f.rule == "R17"), "{firing:?}");
+    assert_eq!(r22[0].severity(), "error", "{firing:?}");
+    let clean = check(&[
+        fixture("r22_clean.rs"),
+        fixture("r22_clean_snapshot_manifest.txt"),
+    ]);
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn r22_is_skipped_without_a_manifest_input() {
+    // Explicit-path runs of single files stay meaningful: no manifest in
+    // the input set means the pinning check simply does not run.
+    let findings = check(&[fixture("r22_fires.rs")]);
+    assert!(!findings.iter().any(|f| f.rule == "R22"), "{findings:?}");
+}
+
+#[test]
+fn r23_env_reads_belong_in_the_config_module() {
+    assert_fires_and_clean("R23", "r23_fires.rs", "r23_clean.rs");
+    let firing = check(&[fixture("r23_fires.rs")]);
+    assert!(
+        firing
+            .iter()
+            .any(|f| f.rule == "R23" && f.message.contains("crates/sim/src/config.rs")),
+        "{firing:?}"
+    );
+}
+
+#[test]
+fn p2_stale_pragma_is_audited() {
+    let firing = check(&[fixture("p2_stale.rs")]);
+    let p2: Vec<&Finding> = firing.iter().filter(|f| f.rule == "P2").collect();
+    assert_eq!(p2.len(), 1, "{firing:?}");
+    assert!(p2[0].message.contains("suppresses nothing"), "{firing:?}");
+    // A live pragma (pragma_justified.rs) is covered by
+    // justified_pragma_suppresses: suppressing a real finding is the
+    // clean state, not a P2.
+}
+
+#[test]
+fn mechanical_fixes_apply_cleanly_and_are_idempotent() {
+    // Every fixable rule: applying its fixes silences the rule, and a
+    // second --fix pass is a no-op (no oscillating rewrites).
+    for (rule, name) in [
+        ("R1", "r1_fires.rs"),
+        ("R5", "r5_fires.rs"),
+        ("R7", "r7_fires.rs"),
+        ("R13", "r13_fires.rs"),
+    ] {
+        let input = fixture(name);
+        let findings = check(std::slice::from_ref(&input));
+        let edits: Vec<fixes::Edit> = findings
+            .iter()
+            .filter(|f| f.rule == rule)
+            .filter_map(|f| f.fix.as_ref())
+            .flat_map(|fix| fix.edits.iter().cloned())
+            .collect();
+        assert!(!edits.is_empty(), "{name} should carry {rule} fixes");
+        let (fixed, applied) = fixes::apply(&input.text, &edits);
+        assert_eq!(applied, edits.len(), "every {rule} edit in {name} applies");
+        let after = check(&[Input {
+            path: input.path.clone(),
+            text: fixed.clone(),
+        }]);
+        assert!(
+            !after.iter().any(|f| f.rule == rule),
+            "{name} still fires {rule} after --fix: {after:?}"
+        );
+        // Second pass gathers whatever fixes remain (there should be none
+        // for this rule) and must leave the text untouched.
+        let edits2: Vec<fixes::Edit> = after
+            .iter()
+            .filter(|f| f.rule == rule)
+            .filter_map(|f| f.fix.as_ref())
+            .flat_map(|fix| fix.edits.iter().cloned())
+            .collect();
+        let (fixed2, applied2) = fixes::apply(&fixed, &edits2);
+        assert_eq!(applied2, 0, "{name}: second --fix pass must be a no-op");
+        assert_eq!(fixed2, fixed, "{name}: fix engine must be idempotent");
+    }
+}
+
+/// Maps a rule id to its (firing, clean) fixture input sets. Most rules
+/// need exactly one file per side; R6 pulls in the declared-counter file
+/// and R22 only runs with a snapshot manifest among the inputs, so those
+/// list every file each side needs.
+fn fixture_pair(id: &str) -> (Vec<String>, Vec<String>) {
+    let one = |f: &str, c: &str| (vec![f.to_string()], vec![c.to_string()]);
     match id {
-        "P1" => (
-            "pragma_unjustified.rs".to_string(),
-            "pragma_justified.rs".to_string(),
+        "P1" => one("pragma_unjustified.rs", "pragma_justified.rs"),
+        // P2's clean side is any live pragma: justified AND still earning
+        // its keep by suppressing a real finding.
+        "P2" => one("p2_stale.rs", "pragma_justified.rs"),
+        "R6" => (
+            vec!["r6_metrics.rs".to_string(), "r6_fires.rs".to_string()],
+            vec!["r6_clean.rs".to_string()],
         ),
-        "R8" => ("r8_fires.toml".to_string(), "r8_clean.toml".to_string()),
+        "R8" => one("r8_fires.toml", "r8_clean.toml"),
+        "R22" => (
+            vec![
+                "r22_fires.rs".to_string(),
+                "r22_fires_snapshot_manifest.txt".to_string(),
+            ],
+            vec![
+                "r22_clean.rs".to_string(),
+                "r22_clean_snapshot_manifest.txt".to_string(),
+            ],
+        ),
         other => {
             let stem = other.to_lowercase();
-            (format!("{stem}_fires.rs"), format!("{stem}_clean.rs"))
+            (
+                vec![format!("{stem}_fires.rs")],
+                vec![format!("{stem}_clean.rs")],
+            )
         }
     }
 }
@@ -355,22 +496,18 @@ fn every_rule_has_a_firing_and_a_clean_fixture() {
     // and the firing/clean contract is enforced uniformly for all of them.
     for rule in cc_mis_conform::rules::RULES {
         let (fires, clean) = fixture_pair(rule.id);
-        // R6 compares call sites against the declared counter set, which is
-        // extracted from whatever file scopes as metrics.rs.
-        let mut firing_inputs = vec![fixture(&fires)];
-        if rule.id == "R6" {
-            firing_inputs.insert(0, fixture("r6_metrics.rs"));
-        }
+        let firing_inputs: Vec<Input> = fires.iter().map(|n| fixture(n)).collect();
         let firing = check(&firing_inputs);
         assert!(
             firing.iter().any(|f| f.rule == rule.id),
-            "{fires} should report {}: {firing:?}",
+            "{fires:?} should report {}: {firing:?}",
             rule.id
         );
-        let clean_findings = check(&[fixture(&clean)]);
+        let clean_inputs: Vec<Input> = clean.iter().map(|n| fixture(n)).collect();
+        let clean_findings = check(&clean_inputs);
         assert!(
             clean_findings.is_empty(),
-            "{clean} should be clean, got {clean_findings:?}"
+            "{clean:?} should be clean, got {clean_findings:?}"
         );
     }
 }
@@ -381,9 +518,9 @@ fn every_rule_has_explain_text_and_the_id_set_is_complete() {
     // empty, and the rule set itself is pinned so a dropped entry fails
     // loudly rather than silently losing coverage.
     let ids: Vec<&str> = cc_mis_conform::rules::RULES.iter().map(|r| r.id).collect();
-    let expected: Vec<String> = (1..=20)
+    let expected: Vec<String> = (1..=23)
         .map(|n| format!("R{n}"))
-        .chain(std::iter::once("P1".to_string()))
+        .chain(["P1".to_string(), "P2".to_string()])
         .collect();
     assert_eq!(ids, expected, "rule registry drifted");
     for rule in cc_mis_conform::rules::RULES {
@@ -404,21 +541,31 @@ fn every_rule_has_explain_text_and_the_id_set_is_complete() {
 
 #[test]
 fn dataflow_sarif_snapshot_is_frozen() {
-    // Golden SARIF over the four dataflow firing fixtures, checked as one
-    // input set. Pins rule metadata, severity levels (R16/R17 error,
-    // R18/R19 warning), locations, and message wording; regenerate with
-    //   cargo run -p cc-mis-conform -- --root crates/conform/tests/fixtures \
+    // Golden SARIF over the dataflow and taint firing fixtures plus one
+    // fix-carrying lexical fixture, checked as one input set. Pins rule
+    // metadata, severity levels (R16/R17/R21/R22 error, R18/R19/R23
+    // warning), locations, message wording, and the `fixes` property on
+    // the R1 results; regenerate from the repo root (full relative paths,
+    // so the R22 message's manifest path matches this test's inputs) with
+    //   cargo run -p cc-mis-conform -- \
     //     --sarif crates/conform/tests/fixtures/dataflow_golden.sarif \
-    //     r16_fires.rs r17_fires.rs r18_fires.rs r19_fires.rs
+    //     $(for f in r16 r17 r18 r19 r21 r22 r23 r1; do \
+    //         echo crates/conform/tests/fixtures/${f}_fires.rs; done) \
+    //     crates/conform/tests/fixtures/r22_fires_snapshot_manifest.txt
     // and review the diff before committing.
     let findings = check(&[
         fixture("r16_fires.rs"),
         fixture("r17_fires.rs"),
         fixture("r18_fires.rs"),
         fixture("r19_fires.rs"),
+        fixture("r21_fires.rs"),
+        fixture("r22_fires.rs"),
+        fixture("r22_fires_snapshot_manifest.txt"),
+        fixture("r23_fires.rs"),
+        fixture("r1_fires.rs"),
     ]);
     let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
-    for id in ["R16", "R17", "R18", "R19"] {
+    for id in ["R16", "R17", "R18", "R19", "R21", "R22", "R23", "R1"] {
         assert!(
             rules.contains(&id),
             "mixed run must fire {id}: {findings:?}"

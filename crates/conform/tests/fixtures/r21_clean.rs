@@ -1,0 +1,18 @@
+// conform-fixture: crates/sim/src/demo_par.rs
+//! R21 clean twin: scheduling identity steers scheduling only. The thread
+//! count sizes work chunks, and the shard closure touches nothing but the
+//! slices the helper hands it — no charge, seed, or snapshot write ever
+//! sees a machine-shaped value.
+
+pub fn chunk_len(n: usize) -> usize {
+    let threads = thread_count();
+    n.div_ceil(threads.max(1))
+}
+
+pub fn shard_fill(outs: &mut [u64], rows: &mut [u64], base: u64) {
+    par_zip_shards(outs, rows, 4, |_shard, chunk, row| {
+        for (slot, r) in chunk.iter_mut().zip(row.iter()) {
+            *slot = base + *r;
+        }
+    });
+}

@@ -1,0 +1,19 @@
+// conform-fixture: crates/sim/src/demo_par.rs
+//! R21 firing fixture: scheduling identity reaches two of the three
+//! forbidden sinks — a shard index seeds an RNG stream inside a
+//! `par_zip_shards` closure, and a thread-count-derived salt is written
+//! into a snapshot. Both would make runs depend on the machine shape
+//! rather than on `(seed, graph, params)`.
+
+pub fn shard_rng(outs: &mut [u64], rows: &mut [u64]) {
+    par_zip_shards(outs, rows, 4, |shard, chunk, row| {
+        let rng = SplitMix64::new(shard as u64);
+        let _ = (rng, chunk, row);
+    });
+}
+
+pub fn checkpoint(w: &mut SnapshotWriter) {
+    let threads = thread_count();
+    let salt = threads as u64 + 1;
+    w.write_u64(salt);
+}

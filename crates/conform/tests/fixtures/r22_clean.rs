@@ -1,0 +1,26 @@
+// conform-fixture: crates/core/src/demo_snap.rs
+//! R22 clean twin: the same save/restore pair, with a manifest entry that
+//! matches the code's write sequence exactly — the pinned format and the
+//! implementation agree, so the lint stays silent.
+
+pub struct DemoSnap {
+    steps: u64,
+    done: bool,
+}
+
+impl Execution for DemoSnap {
+    fn step(&mut self, driver: &mut Driver) -> StepOutcome {
+        StepOutcome::Continue
+    }
+
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.steps);
+        w.write_bool(self.done);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotCursor) -> Result<(), SnapshotError> {
+        self.steps = r.read_u64()?;
+        self.done = r.read_bool()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,27 @@
+// conform-fixture: crates/core/src/demo_snap.rs
+//! R22 firing fixture: `save` and `restore` agree with each other — R17 is
+//! perfectly happy — but the write order drifted from the committed
+//! manifest without a snapshot VERSION bump. This is exactly the co-drift
+//! R17 cannot see: the manifest is the third copy, under version control.
+
+pub struct DemoSnap {
+    steps: u64,
+    done: bool,
+}
+
+impl Execution for DemoSnap {
+    fn step(&mut self, driver: &mut Driver) -> StepOutcome {
+        StepOutcome::Continue
+    }
+
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.steps);
+        w.write_bool(self.done);
+    }
+
+    fn restore(&mut self, r: &mut SnapshotCursor) -> Result<(), SnapshotError> {
+        self.steps = r.read_u64()?;
+        self.done = r.read_bool()?;
+        Ok(())
+    }
+}

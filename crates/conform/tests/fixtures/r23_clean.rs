@@ -1,0 +1,7 @@
+// conform-fixture: crates/sim/src/config.rs
+//! R23 clean twin: the same environment read, in the one module sanctioned
+//! to hold it. Central accessors keep R21's env-source list auditable.
+
+pub fn verbose() -> bool {
+    std::env::var("CC_MIS_VERBOSE").is_ok()
+}

@@ -1,0 +1,8 @@
+// conform-fixture: crates/sim/src/worker.rs
+//! R23 firing fixture: an environment read outside the config module. Even
+//! a harmless-looking verbosity knob belongs in `crates/sim/src/config.rs`
+//! so the full set of ambient inputs stays auditable in one place.
+
+pub fn verbose() -> bool {
+    std::env::var("CC_MIS_VERBOSE").is_ok()
+}

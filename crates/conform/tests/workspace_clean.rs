@@ -171,9 +171,129 @@ fn cli_timings_render_per_phase_wall_clock() {
         "lexical",
         "structural",
         "dataflow",
+        "taint",
     ] {
         assert!(stderr.contains(phase), "missing {phase} in:\n{stderr}");
     }
+    // Explicit-path runs never touch the persistent cache.
+    assert!(!stderr.contains("cache"), "stderr:\n{stderr}");
+}
+
+#[test]
+fn cli_fix_diff_is_a_dry_run() {
+    let dir = std::env::temp_dir().join(format!("conform-fix-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir creates");
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/r1_fires.rs");
+    let file = dir.join("r1_fires.rs");
+    std::fs::copy(&src, &file).expect("fixture copies");
+    let before = std::fs::read_to_string(&file).expect("copy is readable");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .args(["--fix", "--diff"])
+        .arg(&file)
+        .output()
+        .expect("linter binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("-use std::collections::HashMap;"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("+use std::collections::BTreeMap;"),
+        "{stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("(dry run)"), "stderr:\n{stderr}");
+    // Dry run: the file on disk is untouched.
+    let after = std::fs::read_to_string(&file).expect("file still readable");
+    assert_eq!(before, after, "--diff must not write");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_fix_applies_in_place_and_is_idempotent() {
+    let dir = std::env::temp_dir().join(format!("conform-fix-apply-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir creates");
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/r1_fires.rs");
+    let file = dir.join("r1_fires.rs");
+    std::fs::copy(&src, &file).expect("fixture copies");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .arg("--fix")
+        .arg(&file)
+        .output()
+        .expect("linter binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "pre-fix findings reported: {out:?}"
+    );
+    let fixed = std::fs::read_to_string(&file).expect("fixed file readable");
+    assert!(fixed.contains("BTreeMap"), "{fixed}");
+    assert!(!fixed.contains("HashMap"), "{fixed}");
+
+    // The fixed file lints clean, and a second --fix pass is a no-op.
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .arg("--fix")
+        .arg(&file)
+        .output()
+        .expect("linter binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("0 fix(es)"), "stderr:\n{stderr}");
+    let again = std::fs::read_to_string(&file).expect("file still readable");
+    assert_eq!(fixed, again, "--fix must be idempotent");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_warm_workspace_run_hits_the_cache() {
+    // First run primes target/conform-cache.bin; the second is a full hit.
+    // The cache file's content is a pure function of the tree, so a
+    // concurrent test writing it (atomic temp+rename) cannot spoil this.
+    for _ in 0..2 {
+        let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+            .args(["--workspace", "--timings", "--root"])
+            .arg(workspace_root())
+            .output()
+            .expect("linter binary runs");
+        assert!(out.status.success(), "{out:?}");
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .args(["--workspace", "--timings", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("linter binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cache") && stderr.contains("0 miss(es)"),
+        "warm run should be a full cache hit:\n{stderr}"
+    );
+}
+
+#[test]
+fn cli_update_snapshot_manifest_is_current_and_deterministic() {
+    // Regenerating the committed manifest must be a no-op: the pinned
+    // save() sequences match the code, byte for byte.
+    let manifest = workspace_root().join("crates/conform/snapshot_manifest.txt");
+    let before = std::fs::read_to_string(&manifest).expect("manifest is committed");
+    let out = Command::new(env!("CARGO_BIN_EXE_cc-mis-conform"))
+        .args(["--update-snapshot-manifest", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("linter binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("snapshot manifest written"),
+        "stderr:\n{stderr}"
+    );
+    let after = std::fs::read_to_string(&manifest).expect("manifest still readable");
+    assert_eq!(before, after, "committed snapshot manifest is out of date");
 }
 
 #[test]

@@ -1,0 +1,50 @@
+//! Central environment configuration for the simulator.
+//!
+//! Every `CC_MIS_*` environment read in `crates/sim` and `crates/core`
+//! lives here and nowhere else — conformance rule R23 pins that. The
+//! point is auditability of the determinism story: environment variables
+//! are per-process ambient state, so any code path that consults one is a
+//! place where two runs of "the same" configuration could diverge. By
+//! funneling all reads through this module, the reviewer (and the R21
+//! taint rule) can see at a glance exactly which knobs exist and verify
+//! each one is *scheduling-only* — thread counts and memory cutoffs that
+//! by construction never change simulation results.
+//!
+//! The accessors return `Option` and leave defaulting to the caller: the
+//! knob owner (`par_nodes::thread_count`, `pool::dense_pair_max`) keeps
+//! its own override/default policy and documents it there.
+
+/// The worker-thread knob from `CC_MIS_THREADS`.
+///
+/// `Some(k)` when the variable is set — unparsable or `< 1` values fall
+/// back to `1`, the sequential escape hatch. `None` when unset (callers
+/// then use the machine's available parallelism).
+pub fn env_threads() -> Option<usize> {
+    match std::env::var("CC_MIS_THREADS") {
+        Ok(s) => Some(s.trim().parse::<usize>().unwrap_or(1).max(1)),
+        Err(_) => None,
+    }
+}
+
+/// The dense-pair cutoff knob from `CC_MIS_DENSE_PAIR_MAX`.
+///
+/// `Some(k)` when the variable is set — unparsable values fall back to
+/// [`crate::pool::DENSE_PAIR_MAX_DEFAULT`]; `0` is meaningful (it forces
+/// the sparse accounting path for every graph). `None` when unset.
+pub fn env_dense_pair_max() -> Option<usize> {
+    match std::env::var("CC_MIS_DENSE_PAIR_MAX") {
+        Ok(s) => Some(
+            s.trim()
+                .parse::<usize>()
+                .unwrap_or(crate::pool::DENSE_PAIR_MAX_DEFAULT),
+        ),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The accessors are exercised (set and unset) through the owner knobs'
+    // own tests in `par_nodes` and `pool`; environment mutation is kept
+    // there so the process-global state is touched from one suite only.
+}

@@ -51,6 +51,7 @@
 pub mod beeping;
 pub mod bits;
 pub mod clique;
+pub mod config;
 pub mod congest;
 pub mod driver;
 pub mod metrics;

@@ -18,8 +18,9 @@
 //!
 //! Thread-count resolution, in priority order:
 //! 1. [`set_thread_override`] (in-process, used by tests and embedders);
-//! 2. the `CC_MIS_THREADS` environment variable (`1` is the escape hatch
-//!    that forces sequential execution);
+//! 2. the `CC_MIS_THREADS` environment variable, read through
+//!    [`crate::config::env_threads`] (`1` is the escape hatch that forces
+//!    sequential execution);
 //! 3. [`std::thread::available_parallelism`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -44,10 +45,8 @@ pub fn thread_count() -> usize {
     if ov >= 1 {
         return ov;
     }
-    match std::env::var("CC_MIS_THREADS") {
-        Ok(s) => s.trim().parse::<usize>().unwrap_or(1).max(1),
-        Err(_) => std::thread::available_parallelism().map_or(1, usize::from),
-    }
+    crate::config::env_threads()
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
 }
 
 /// Maps `f` over `0..n` on a scoped worker pool, returning results in index

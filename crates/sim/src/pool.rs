@@ -58,10 +58,7 @@ pub fn dense_pair_max() -> usize {
     if ov >= 1 {
         return ov;
     }
-    match std::env::var("CC_MIS_DENSE_PAIR_MAX") {
-        Ok(s) => s.trim().parse::<usize>().unwrap_or(DENSE_PAIR_MAX_DEFAULT),
-        Err(_) => DENSE_PAIR_MAX_DEFAULT,
-    }
+    crate::config::env_dense_pair_max().unwrap_or(DENSE_PAIR_MAX_DEFAULT)
 }
 
 /// How many retired type-erased buffers each pool retains. Two is enough

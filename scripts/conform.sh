@@ -3,14 +3,21 @@
 #
 # Exits 0 on a clean tree, 1 on findings (printed as file:line rule-id msg),
 # 3 on any error-severity finding (P1 broken pragma, R16 pool leak, R17
-# snapshot-parity break), 2 on usage/IO errors.
+# snapshot-parity break, R21 determinism taint, R22 snapshot-format drift),
+# 2 on usage/IO errors.
 #
 #   scripts/conform.sh --fixtures-only       # just the linter's own test suite
+#
+# Workspace runs reuse the persistent result cache (target/conform-cache.bin,
+# content-hash keyed; --timings reports hits/misses; --no-cache bypasses it).
 #
 # Extra flags pass straight through to the linter:
 #   scripts/conform.sh --json                # machine-readable findings
 #   scripts/conform.sh --sarif out.sarif     # also write a SARIF 2.1.0 log
-#   scripts/conform.sh --timings             # per-phase wall clock on stderr
+#   scripts/conform.sh --timings             # per-phase wall clock + cache stats
+#   scripts/conform.sh --fix                 # apply mechanical fixes in place
+#   scripts/conform.sh --fix --diff          # dry run: print the would-be diff
+#   scripts/conform.sh --update-snapshot-manifest  # re-pin save() sequences (R22)
 #   scripts/conform.sh --explain R17         # contract, rationale, fix recipe
 #   scripts/conform.sh --baseline base.txt   # gate on *new* findings only:
 #       first run snapshots current findings to base.txt (rule\tpath\tmessage,

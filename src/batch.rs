@@ -256,7 +256,6 @@ struct AlgoStats {
 /// Median of a non-empty sample (lower middle for even sizes, matching the
 /// bench harness's integer median).
 fn median(samples: &[u64]) -> u64 {
-    // conform: allow(R11) -- clones a stats Vec for sorting, not an RNG stream
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
     sorted[(sorted.len() - 1) / 2]
