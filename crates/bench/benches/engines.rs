@@ -29,6 +29,34 @@ fn main() {
     }
     h.finish();
 
+    // Frame-based sharded delivery vs the direct scatter, same all-to-all
+    // round. The shard mode latches at an engine's first deliver (the
+    // harness warmup), so the override is set before each engine is built
+    // and the engines then coexist safely.
+    let mut h = Harness::new("sharded_round_frames");
+    let n = 1024usize;
+    for (name, shards) in [
+        ("n1024_direct", None),
+        ("n1024_s1", Some(1)),
+        ("n1024_s4", Some(4)),
+    ] {
+        cc_mis_sim::shard::set_shards_override(shards);
+        let mut e = CliqueEngine::strict(n, 64);
+        h.bench(name, move || {
+            let mut r = e.begin_round::<u32>();
+            for i in 0..n as u32 {
+                for j in 0..n as u32 {
+                    if i != j {
+                        r.send(NodeId::new(i), NodeId::new(j), 16, i ^ j).unwrap();
+                    }
+                }
+            }
+            r.deliver()
+        });
+    }
+    cc_mis_sim::shard::set_shards_override(None);
+    h.finish();
+
     let mut h = Harness::new("congest_broadcast_round");
     for n in [256usize, 1024, 4096] {
         let g = generators::erdos_renyi_gnp(n, 16.0 / n as f64, 3);

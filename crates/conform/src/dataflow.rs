@@ -333,11 +333,12 @@ pub(crate) fn fn_param_names(fs: &FileSyntax, f: &FnSpan) -> Vec<String> {
 // R16 — pool take/retire obligation pairing
 // ---------------------------------------------------------------------------
 
-const TAKE_PAIRS: [(&str, &str); 4] = [
+const TAKE_PAIRS: [(&str, &str); 5] = [
     ("take_dense", "retire_dense"),
     ("take_sparse", "retire_sparse"),
     ("take_outbox", "retire_outbox"),
     ("take_arena_parts", "retire"),
+    ("take_frame", "retire_frame"),
 ];
 
 /// An open pooled-buffer obligation: a binding that holds a taken buffer

@@ -10,7 +10,7 @@ pub struct Finding {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule id (`R1`..`R23`, or `P1`/`P2` for pragma violations).
+    /// Rule id (`R1`..`R24`, or `P1`/`P2` for pragma violations).
     pub rule: &'static str,
     /// Human-readable message.
     pub message: String,

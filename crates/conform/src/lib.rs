@@ -15,7 +15,7 @@
 //! ([`scanner`]), a token-tree layer ([`syntax`]) and approximate call
 //! graph ([`callgraph`]) on top of it, a rule set ([`rules`], lexical
 //! R1–R9 plus structural/interprocedural R10–R15/R20), dataflow rules
-//! R16–R19 ([`dataflow`]), determinism-taint rules R21–R23 ([`taint`]),
+//! R16–R19 ([`dataflow`]), determinism-taint rules R21–R24 ([`taint`]),
 //! and a justified-pragma escape hatch ([`pragma`], with stale-pragma
 //! detection `P2`). Diagnostics are stable `file:line rule-id message`
 //! lines ([`diag`]), with `--json` and `--sarif` output via
@@ -92,7 +92,7 @@ pub struct Timings {
     pub structural_ms: u128,
     /// The dataflow rules (R16–R19).
     pub dataflow_ms: u128,
-    /// The determinism-taint rules (R21–R23) plus stale-pragma detection.
+    /// The determinism-taint rules (R21–R24) plus stale-pragma detection.
     pub taint_ms: u128,
     /// `(hits, misses)` of the persistent workspace cache, when a cached
     /// run was attempted (see [`cache`]).

@@ -338,6 +338,21 @@ pub const RULES: &[RuleInfo] = &[
         fix: "add an accessor to crates/sim/src/config.rs and call that",
     },
     RuleInfo {
+        id: "R24",
+        summary: "process/socket confinement: raw std::process and socket APIs in \
+                  crates/core and crates/sim live only in crates/sim/src/shard.rs",
+        contract: "library code in crates/core/src and crates/sim/src names \
+                   UnixListener/UnixStream/TcpListener/TcpStream, Command::new, \
+                   Stdio::, or .kill() only inside the sharded-transport module",
+        rationale: "worker processes and byte links are scheduling machinery: every \
+                    serialization boundary must speak the checksummed frame codec and \
+                    every child must be covered by checkpoint recovery; a stray socket \
+                    or spawn elsewhere is a side channel the fault matrix never kills \
+                    and the determinism story cannot audit",
+        fix: "route the spawn or connection through the FrameLink backends in \
+              crates/sim/src/shard.rs",
+    },
+    RuleInfo {
         id: "P1",
         summary: "conform pragmas must be well-formed, name known rules, and carry a \
                   justification",

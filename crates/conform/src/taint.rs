@@ -1,4 +1,4 @@
-//! Determinism-taint rules R21–R23.
+//! Determinism-taint rules R21–R24.
 //!
 //! The bit-determinism story says a run is a pure function of
 //! `(seed, graph, params)`. Scheduling identity — how many worker threads
@@ -28,6 +28,10 @@
 //!   `--update-snapshot-manifest`.
 //! * **R23** confines `std::env` reads in crates/core and crates/sim to
 //!   the central config module, so R21's env-source list stays auditable.
+//! * **R24** confines raw `std::process` and socket APIs in crates/core
+//!   and crates/sim to the sharded-transport module, so every process
+//!   boundary speaks the checksummed frame codec and sits behind the
+//!   checkpoint-recovery machinery the fault matrix exercises.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -48,6 +52,11 @@ const CONFIG_MODULE: &str = "crates/sim/src/config.rs";
 /// manifest is among the inputs).
 const SNAPSHOT_MODULE: &str = "crates/sim/src/snapshot.rs";
 
+/// The one core/sim module sanctioned to spawn worker processes and open
+/// sockets (R24): the sharded transport, whose FrameLink backends own the
+/// frame codec and the checkpoint-recovery protocol.
+const SHARD_MODULE: &str = "crates/sim/src/shard.rs";
+
 /// Runs the taint phase. `manifest` is the `(path, text)` of the committed
 /// snapshot manifest when one is among the inputs; without it R22 is
 /// skipped (explicit-path lint runs of single files stay meaningful).
@@ -62,6 +71,7 @@ pub fn check(
         check_r22(sources, syntaxes, mpath, mtext, findings);
     }
     check_r23(sources, findings);
+    check_r24(sources, findings);
 }
 
 // ---------------------------------------------------------------------------
@@ -77,6 +87,10 @@ const SOURCE_CALLS: &[&str] = &[
     "available_parallelism",
     "env_threads",
     "env_dense_pair_max",
+    "env_shards",
+    "env_shard_backend",
+    "env_worker_bin",
+    "env_worker_log_dir",
 ];
 
 /// Helpers whose closure's first parameter is a shard index.
@@ -505,6 +519,51 @@ fn check_r23(sources: &[SourceFile], findings: &mut Vec<Finding>) {
                     "environment read outside the config module: every std::env read in \
                      crates/core and crates/sim belongs in {CONFIG_MODULE}, so the full \
                      set of ambient knobs stays auditable in one place"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R24 — process and socket APIs live only in the sharded-transport module
+// ---------------------------------------------------------------------------
+
+/// Tokens that open a process or byte-stream boundary. `Command::new` (not
+/// the bare path `std::process`) keeps `ExitCode`-style uses clean; `.kill()`
+/// catches hand-rolled child teardown outside the recovery protocol.
+const PROCESS_TOKENS: &[&str] = &[
+    "UnixListener",
+    "UnixStream",
+    "TcpListener",
+    "TcpStream",
+    "Command::new",
+    "Stdio::",
+    ".kill()",
+];
+
+fn check_r24(sources: &[SourceFile], findings: &mut Vec<Finding>) {
+    for f in sources {
+        let path = f.effective.as_str();
+        if !in_sim_core(path) || path == SHARD_MODULE {
+            continue;
+        }
+        for (idx, line) in f.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let code = line.code.as_str();
+            let Some(pat) = PROCESS_TOKENS.iter().find(|p| code.contains(*p)) else {
+                continue;
+            };
+            findings.push(Finding::new(
+                path,
+                idx + 1,
+                "R24",
+                format!(
+                    "`{pat}` outside the sharded-transport module: process spawns and \
+                     sockets in crates/core and crates/sim belong in {SHARD_MODULE}, \
+                     behind the frame codec and checkpoint recovery"
                 ),
             ));
         }

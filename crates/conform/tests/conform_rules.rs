@@ -401,6 +401,21 @@ fn r23_env_reads_belong_in_the_config_module() {
 }
 
 #[test]
+fn r24_process_and_socket_apis_belong_in_the_shard_module() {
+    assert_fires_and_clean("R24", "r24_fires.rs", "r24_clean.rs");
+    let firing = check(&[fixture("r24_fires.rs")]);
+    let r24: Vec<&Finding> = firing.iter().filter(|f| f.rule == "R24").collect();
+    // One finding per boundary line: the spawn and the socket connect.
+    assert_eq!(r24.len(), 2, "{firing:?}");
+    assert!(
+        r24.iter()
+            .all(|f| f.message.contains("crates/sim/src/shard.rs")),
+        "{firing:?}"
+    );
+    assert!(r24.iter().all(|f| f.severity() == "warning"), "{firing:?}");
+}
+
+#[test]
 fn p2_stale_pragma_is_audited() {
     let firing = check(&[fixture("p2_stale.rs")]);
     let p2: Vec<&Finding> = firing.iter().filter(|f| f.rule == "P2").collect();
@@ -518,7 +533,7 @@ fn every_rule_has_explain_text_and_the_id_set_is_complete() {
     // empty, and the rule set itself is pinned so a dropped entry fails
     // loudly rather than silently losing coverage.
     let ids: Vec<&str> = cc_mis_conform::rules::RULES.iter().map(|r| r.id).collect();
-    let expected: Vec<String> = (1..=23)
+    let expected: Vec<String> = (1..=24)
         .map(|n| format!("R{n}"))
         .chain(["P1".to_string(), "P2".to_string()])
         .collect();

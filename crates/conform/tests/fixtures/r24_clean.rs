@@ -1,0 +1,11 @@
+// conform-fixture: crates/sim/src/shard.rs
+//! R24 clean twin: the same spawn and connect, in the one module sanctioned
+//! to own process boundaries — the sharded transport, where every child
+//! speaks the frame codec and sits behind checkpoint recovery.
+
+pub fn launch(path: &str) -> std::io::Result<()> {
+    let child = std::process::Command::new(path).spawn()?;
+    let _stream = std::os::unix::net::UnixStream::connect("/tmp/w.sock")?;
+    drop(child);
+    Ok(())
+}

@@ -1,0 +1,11 @@
+// conform-fixture: crates/sim/src/runtime.rs
+//! R24 firing fixture: a raw process spawn and socket connection outside
+//! the sharded-transport module. A worker child launched here bypasses the
+//! checksummed frame codec, and no checkpoint recovery covers its death.
+
+pub fn launch(path: &str) -> std::io::Result<()> {
+    let child = std::process::Command::new(path).spawn()?;
+    let _stream = std::os::unix::net::UnixStream::connect("/tmp/w.sock")?;
+    drop(child);
+    Ok(())
+}

@@ -45,6 +45,7 @@ use cc_mis_sim::clique::CliqueEngine;
 use cc_mis_sim::driver::{drive_observed, Execution, Status};
 use cc_mis_sim::par_nodes::par_map_nodes;
 use cc_mis_sim::rng::{SharedRandomness, Stream};
+use cc_mis_sim::shard::{Wire, WireCursor};
 use cc_mis_sim::snapshot::{graph_fingerprint, SnapshotError, SnapshotReader, SnapshotWriter};
 use cc_mis_sim::{RoundLedger, SharedObserver};
 
@@ -123,6 +124,19 @@ struct Announcement {
     beeps: u64,
     /// Iteration offset within the phase at which the node joined.
     joined_k: Option<u8>,
+}
+
+impl Wire for Announcement {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.beeps.encode(out);
+        self.joined_k.encode(out);
+    }
+    fn decode(r: &mut WireCursor<'_>) -> Option<Self> {
+        Some(Announcement {
+            beeps: u64::decode(r)?,
+            joined_k: Option::<u8>::decode(r)?,
+        })
+    }
 }
 
 /// Runs the Theorem 1.1 algorithm.

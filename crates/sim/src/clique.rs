@@ -25,9 +25,9 @@ pub use crate::runtime::Enforcement;
 /// use cc_mis_graph::NodeId;
 ///
 /// let mut engine = CliqueEngine::strict(3, 32);
-/// let mut round = engine.begin_round::<&'static str>();
-/// round.send(NodeId::new(0), NodeId::new(1), 24, "hello")?;
-/// round.send(NodeId::new(2), NodeId::new(1), 8, "hi")?;
+/// let mut round = engine.begin_round::<u32>();
+/// round.send(NodeId::new(0), NodeId::new(1), 24, 0xABC)?;
+/// round.send(NodeId::new(2), NodeId::new(1), 8, 0x12)?;
 /// let inboxes = round.deliver();
 /// assert_eq!(inboxes[1].len(), 2);
 /// # Ok::<(), cc_mis_sim::BandwidthError>(())

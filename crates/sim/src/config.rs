@@ -42,9 +42,54 @@ pub fn env_dense_pair_max() -> Option<usize> {
     }
 }
 
+/// The shard-count knob from `CC_MIS_SHARDS`.
+///
+/// `Some(k)` when the variable is set — unparsable values fall back to `0`
+/// (direct delivery); `0` is meaningful (it forces direct delivery even if
+/// other configuration suggests sharding). `None` when unset. Framed
+/// delivery is byte-identical to direct at any shard count (pinned by the
+/// runtime's equivalence tests), so this is a topology knob, never a
+/// semantics knob.
+pub fn env_shards() -> Option<usize> {
+    match std::env::var("CC_MIS_SHARDS") {
+        Ok(s) => Some(s.trim().parse::<usize>().unwrap_or(0)),
+        Err(_) => None,
+    }
+}
+
+/// The shard-backend knob from `CC_MIS_SHARD_BACKEND` (`"channel"` or
+/// `"process"`). Unrecognised values fall back to the channel backend at
+/// the point of use; both backends speak the identical frame protocol, so
+/// this too never changes results.
+pub fn env_shard_backend() -> Option<String> {
+    std::env::var("CC_MIS_SHARD_BACKEND").ok()
+}
+
+/// The worker-binary knob from `CC_MIS_WORKER_BIN`: the executable spawned
+/// for process-backend shard workers. Unset means "this process's own
+/// binary" (the CLI re-invokes itself with the `worker` verb).
+pub fn env_worker_bin() -> Option<String> {
+    std::env::var("CC_MIS_WORKER_BIN").ok()
+}
+
+/// The worker-log knob from `CC_MIS_WORKER_LOG_DIR`: when set, each
+/// process-backend worker's stderr is redirected to a log file in this
+/// directory (CI uploads them on failure). Unset discards worker stderr.
+pub fn env_worker_log_dir() -> Option<String> {
+    std::env::var("CC_MIS_WORKER_LOG_DIR").ok()
+}
+
+/// Directory for coordinator↔worker Unix domain sockets: the OS temp dir.
+/// Socket names include the coordinator pid and a monotone counter, so
+/// concurrent processes never collide.
+pub fn socket_dir() -> std::path::PathBuf {
+    std::env::temp_dir()
+}
+
 #[cfg(test)]
 mod tests {
     // The accessors are exercised (set and unset) through the owner knobs'
-    // own tests in `par_nodes` and `pool`; environment mutation is kept
-    // there so the process-global state is touched from one suite only.
+    // own tests in `par_nodes`, `pool`, and `shard`; environment mutation
+    // is kept there so the process-global state is touched from one suite
+    // only.
 }

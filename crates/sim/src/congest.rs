@@ -127,11 +127,12 @@ mod tests {
     fn broadcast_reaches_all_neighbors() {
         let g = generators::star(5);
         let mut e = CongestEngine::strict(&g, 32);
-        let mut r = e.begin_round::<&str>();
-        r.broadcast(NodeId::new(0), 8, "ping").unwrap();
+        let mut r = e.begin_round::<String>();
+        r.broadcast(NodeId::new(0), 8, String::from("ping"))
+            .unwrap();
         let inboxes = r.deliver();
         for inbox in inboxes.iter().skip(1) {
-            assert_eq!(inbox, &vec![(NodeId::new(0), "ping")]);
+            assert_eq!(inbox, &vec![(NodeId::new(0), String::from("ping"))]);
         }
         assert_eq!(e.ledger().messages, 4);
     }

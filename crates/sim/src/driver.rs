@@ -197,6 +197,22 @@ pub fn drive_with_checkpoints<E: Execution>(
     drive_single(crate::scheduler::BatchScheduler::unbounded(), spec)
 }
 
+/// [`drive`] with a sharded-runtime fault injected: arms `plan` for the
+/// run's duration, so the matching `(shard, round)` delivery kills that
+/// worker shard mid-round and the transport must recover it (respawn +
+/// checkpoint restore + round replay). The headline invariant — pinned by
+/// `tests/fault_recovery.rs` — is that the outcome, ledger, and trace are
+/// byte-identical to the unfaulted run. Use
+/// [`crate::shard::fault_injections`] to check the fault actually fired
+/// (a plan aimed past the last round never triggers).
+///
+/// Has no effect unless the engines run with a sharded transport
+/// (`CC_MIS_SHARDS` / [`crate::shard::set_shards_override`]).
+pub fn drive_with_fault<E: Execution>(exec: E, plan: crate::shard::FaultPlan) -> E::Outcome {
+    let spec = crate::scheduler::JobSpec::solo(exec).faulted(plan);
+    drive_single(crate::scheduler::BatchScheduler::unbounded(), spec)
+}
+
 /// Encodes an execution's state as snapshot bytes (header + payload).
 pub fn snapshot<E: Execution>(exec: &E) -> Vec<u8> {
     let mut w = SnapshotWriter::new(exec.algorithm_id());

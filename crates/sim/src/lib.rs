@@ -61,12 +61,20 @@ pub mod rng;
 pub mod routing;
 pub mod runtime;
 pub mod scheduler;
+pub mod shard;
 pub mod snapshot;
 
-pub use driver::{drive, drive_observed, drive_with_checkpoints, Execution, Status};
+pub use driver::{
+    drive, drive_observed, drive_with_checkpoints, drive_with_fault, Execution, Status,
+};
 pub use metrics::{BandwidthError, RoundLedger};
 pub use par_nodes::par_map_nodes;
 pub use rng::SharedRandomness;
 pub use runtime::{Inboxes, RoundEvent, RoundObserver, SharedObserver};
 pub use scheduler::{BatchScheduler, BoxedExecution, JobResult, JobSpec, MapOutcome};
+pub use shard::{
+    arm_fault, disarm_fault, fault_injections, set_backend_override, set_shards_override,
+    set_worker_binary, shard_count, worker_main, FaultPlan, ShardBackend, ShardError, Wire,
+    WireCursor,
+};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};

@@ -209,9 +209,18 @@ pub(crate) struct RoundBuffers {
     sparse: PairBits,
     /// Retired outboxes (`Vec<(NodeId, NodeId, M)>`), type-erased.
     outboxes: Vec<Box<dyn Any + Send>>,
+    /// Retired frame byte buffers for the sharded transport (round
+    /// payloads, encoded frames, receive scratch).
+    frames: Vec<Vec<u8>>,
     /// Inbox arenas shared with the `Inboxes` values rounds return.
     pub(crate) arena_pool: Arc<Mutex<ArenaPool>>,
 }
+
+/// How many retired frame buffers the pool retains. A framed delivery holds
+/// four at once (round payload, encoded frame, receive scratch, message
+/// scratch), so retaining four makes steady-state framed rounds
+/// allocation-free.
+const FRAME_RETAIN: usize = 4;
 
 impl RoundBuffers {
     /// A dense load array of exactly `len` all-zero words.
@@ -263,6 +272,19 @@ impl RoundBuffers {
         outbox.clear();
         if outbox.capacity() > 0 && self.outboxes.len() < POOL_RETAIN {
             self.outboxes.push(Box::new(outbox));
+        }
+    }
+
+    /// A recycled (empty) frame byte buffer.
+    pub(crate) fn take_frame(&mut self) -> Vec<u8> {
+        self.frames.pop().unwrap_or_default()
+    }
+
+    /// Retires a frame buffer, keeping its allocation for later rounds.
+    pub(crate) fn retire_frame(&mut self, mut frame: Vec<u8>) {
+        frame.clear();
+        if frame.capacity() > 0 && self.frames.len() < FRAME_RETAIN {
+            self.frames.push(frame);
         }
     }
 }
@@ -393,6 +415,23 @@ mod tests {
         let o2: Vec<(NodeId, NodeId, u32)> = b.take_outbox();
         assert!(o2.is_empty());
         assert_eq!(o2.capacity(), cap);
+    }
+
+    #[test]
+    fn frame_pool_recycles_cleared_buffers() {
+        let mut b = RoundBuffers::default();
+        let mut f = b.take_frame();
+        f.extend_from_slice(b"frame bytes");
+        let cap = f.capacity();
+        b.retire_frame(f);
+        let f2 = b.take_frame();
+        assert!(f2.is_empty());
+        assert_eq!(f2.capacity(), cap);
+        // The retention cap bounds the pool.
+        for _ in 0..10 {
+            b.retire_frame(vec![1u8]);
+        }
+        assert!(b.frames.len() <= FRAME_RETAIN);
     }
 
     #[test]

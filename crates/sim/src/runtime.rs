@@ -63,6 +63,7 @@ use crate::bits::{idx_u32, pair_key};
 use crate::metrics::{BandwidthError, RoundLedger};
 use crate::par_nodes;
 use crate::pool::{self, ArenaPool, PairBits, RoundBuffers};
+use crate::shard::{self, Wire};
 
 /// Enforcement mode for bandwidth budgets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,6 +204,10 @@ pub struct RoundCore {
     ledger: RoundLedger,
     observer: Option<SharedObserver>,
     buffers: RoundBuffers,
+    /// Sharding mode, latched at the first delivery (see [`shard::probe`]):
+    /// direct in-process scatter, or framed delivery through a
+    /// [`shard::ShardedTransport`] of worker shards.
+    shards: shard::ShardSlot,
 }
 
 impl fmt::Debug for RoundCore {
@@ -226,6 +231,7 @@ impl RoundCore {
             ledger: RoundLedger::new(),
             observer: None,
             buffers: RoundBuffers::default(),
+            shards: shard::ShardSlot::default(),
         }
     }
 
@@ -496,7 +502,7 @@ impl<'a, T: Transport, M: Send + 'static> Round<'a, T, M> {
     /// dropping them returns it to this engine's pool.
     pub fn deliver(mut self) -> Inboxes<M>
     where
-        M: Clone + Sync,
+        M: Clone + Sync + Wire,
     {
         let n = self.transport.node_count();
         let mut outbox = mem::take(&mut self.outbox);
@@ -551,7 +557,22 @@ impl<'a, T: Transport, M: Send + 'static> Round<'a, T, M> {
         let mut cursors = mem::take(&mut self.core.buffers.cursors);
         cursors.clear();
         cursors.extend_from_slice(&offsets[..n]);
-        if sharded {
+        // Framed delivery: when a sharded transport is configured, the
+        // scatter crosses the serialization boundary instead of running
+        // in-process. The workers' shard-local counting scatters compose to
+        // the identical dst-major arena bytes, so everything below (sort
+        // fallback, ledger close, observer event) is shared unchanged.
+        let core = &mut *self.core;
+        let framed = shard::probe(&mut core.shards, n, &mut core.buffers)
+            .unwrap_or_else(|e| panic!("sharded transport setup failed: {e}"));
+        if framed {
+            if let shard::ShardSlot::Framed(transport) = &mut core.shards {
+                transport
+                    .deliver(&outbox, &mut data, &mut cursors, &mut core.buffers)
+                    .unwrap_or_else(|e| panic!("sharded delivery failed: {e}"));
+            }
+            outbox.clear();
+        } else if sharded {
             // Destination-range shards balanced by message count. Each
             // worker scans the whole outbox and writes only its disjoint
             // contiguous arena chunk in outbox order, so the delivered
@@ -1106,6 +1127,59 @@ mod tests {
             let (inboxes, ledger) = run(threads);
             assert_eq!(inboxes, base_inboxes, "threads={threads}");
             assert_eq!(ledger, base_ledger, "threads={threads}");
+        }
+    }
+
+    /// Tentpole pin: routing delivery through the frame-based sharded
+    /// transport must reproduce the direct scatter byte for byte — same
+    /// inboxes, same ledger — at every shard count, over multiple rounds
+    /// (including an empty one) so worker state persists across rounds.
+    #[test]
+    fn framed_delivery_matches_direct_at_every_shard_count() {
+        let _guard = crate::shard::TEST_CONFIG_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // Per round, per inbox: (src, payload) in delivery order.
+        type RoundInboxes = Vec<Vec<Vec<(u32, u64)>>>;
+        fn run(shards: Option<usize>) -> (RoundInboxes, RoundLedger) {
+            crate::shard::set_shards_override(shards);
+            let n = 24usize;
+            let mut core = RoundCore::new(512, Enforcement::Strict);
+            let mut all = Vec::new();
+            for round_idx in 0..4u64 {
+                let mut round: Round<'_, CliqueTransport, u64> =
+                    Round::begin(&mut core, CliqueTransport { n });
+                if round_idx != 2 {
+                    // Round 2 stays empty: the framed path must still
+                    // advance worker round counters in lockstep.
+                    for i in 0..n as u32 {
+                        for j in 0..n as u32 {
+                            if i != j && (u64::from(i * 31 + j * 7) + round_idx) % 3 == 0 {
+                                let payload =
+                                    (u64::from(i) << 32) | (u64::from(j) << 8) | round_idx;
+                                round
+                                    .send(NodeId::new(i), NodeId::new(j), 16, payload)
+                                    .expect("one message per pair fits the budget");
+                            }
+                        }
+                    }
+                }
+                let inboxes = round.deliver();
+                all.push(
+                    inboxes
+                        .iter()
+                        .map(|inbox| inbox.iter().map(|&(s, p)| (s.raw(), p)).collect())
+                        .collect(),
+                );
+            }
+            crate::shard::set_shards_override(None);
+            (all, core.into_ledger())
+        }
+        let (base_inboxes, base_ledger) = run(None);
+        for &shards in &[1usize, 2, 4] {
+            let (inboxes, ledger) = run(Some(shards));
+            assert_eq!(inboxes, base_inboxes, "shards={shards}");
+            assert_eq!(ledger, base_ledger, "shards={shards}");
         }
     }
 

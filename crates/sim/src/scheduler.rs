@@ -116,6 +116,7 @@ pub struct JobSpec<'a, O> {
     observer: Option<SharedObserver>,
     checkpoint_every: Option<u64>,
     checkpoint_sink: Option<CheckpointSink<'a>>,
+    fault: Option<crate::shard::FaultPlan>,
 }
 
 impl<'a, O> JobSpec<'a, O> {
@@ -128,6 +129,7 @@ impl<'a, O> JobSpec<'a, O> {
             observer: None,
             checkpoint_every: None,
             checkpoint_sink: None,
+            fault: None,
         }
     }
 
@@ -168,6 +170,18 @@ impl<'a, O> JobSpec<'a, O> {
         assert!(every > 0, "checkpoint interval must be at least 1 step");
         self.checkpoint_every = Some(every);
         self.checkpoint_sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Arms a sharded-runtime [`crate::shard::FaultPlan`] while this job
+    /// runs: the plan is armed at the start of each of the job's turns and
+    /// disarmed when the turn ends, so the shard death is injected into
+    /// this job's deliveries only. Has no effect unless the job's engines
+    /// run with a sharded transport (`CC_MIS_SHARDS` /
+    /// [`crate::shard::set_shards_override`]).
+    #[must_use]
+    pub fn faulted(mut self, plan: crate::shard::FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 
@@ -286,6 +300,12 @@ impl BatchScheduler {
             if let Some(obs) = job.spec.observer.clone() {
                 exec.attach_observer(obs);
             }
+            // Fault plans are process-global (the transport checks them at
+            // delivery); scope the armed window to this job's turn so a
+            // batch can mix faulted and clean jobs.
+            if let Some(plan) = job.spec.fault {
+                crate::shard::arm_fault(plan);
+            }
             let mut ran: u64 = 0;
             let outcome = loop {
                 if let Status::Done(o) = exec.step() {
@@ -313,6 +333,9 @@ impl BatchScheduler {
                     break None;
                 }
             };
+            if job.spec.fault.is_some() {
+                crate::shard::disarm_fault();
+            }
             match outcome {
                 Some(outcome) => {
                     results[job.idx] = Some(JobResult {

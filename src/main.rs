@@ -56,12 +56,13 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  clique-mis run    --algorithm <greedy|luby|ghaffari16|g16-clique|beeping|sparsified|thm11|lowdeg|auto> <graph> [--seed S] [--json] [--trace PATH] [--checkpoint PATH [--checkpoint-every K]] [--resume PATH]
+  clique-mis run    --algorithm <greedy|luby|ghaffari16|g16-clique|beeping|sparsified|thm11|lowdeg|auto> <graph> [--seed S] [--json] [--trace PATH] [--checkpoint PATH [--checkpoint-every K]] [--resume PATH] [--shards S [--shard-backend <channel|process>] [--fault SHARD@ROUND]]
   clique-mis batch  --jobs PATH.jsonl --out DIR [--quantum K] [--threads T]
   clique-mis reduce --kind <matching|vertex-coloring|edge-coloring> <graph> [--seed S]
   clique-mis ruling --k <K> <graph> [--seed S]
   clique-mis query  --node <V> <graph> [--seed S]
   clique-mis gen    <graph> [--format <edges|dimacs>]
+  clique-mis worker --socket PATH --shard K   (internal: shard worker child process)
 
 graph source (one of):
   --family <gnp|regular|ba|grid|cycle|star|cliques|geometric|smallworld|kronecker> --n <N> [--avg-deg <D>] [--seed S]
@@ -132,6 +133,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "ruling" => cmd_ruling(&opts),
         "query" => cmd_query(&opts),
         "gen" => cmd_gen(&opts),
+        "worker" => cmd_worker(&opts),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -301,11 +303,73 @@ fn drive_cli<E: Execution>(
     }
 }
 
+/// Applies the sharded-transport flags for this process: `--shards S`
+/// routes round delivery through `S` frame-based worker shards,
+/// `--shard-backend` picks in-process channels (default) or OS-process
+/// workers, and `--fault SHARD@ROUND` kills one shard at the given round
+/// to exercise checkpoint recovery. The overrides are process-scoped and
+/// live until exit; nothing here needs undoing.
+fn apply_shard_opts(opts: &Options) -> Result<(), String> {
+    let shards: usize = opts.get_parsed("shards")?.unwrap_or(0);
+    if shards > 0 {
+        clique_mis::sim::set_shards_override(Some(shards));
+    }
+    match opts.get("shard-backend") {
+        None => {}
+        Some("channel") => {
+            clique_mis::sim::set_backend_override(Some(clique_mis::sim::ShardBackend::Channel));
+        }
+        Some("process") => {
+            clique_mis::sim::set_backend_override(Some(clique_mis::sim::ShardBackend::Process));
+        }
+        Some(other) => return Err(format!("unknown shard backend '{other}'")),
+    }
+    if opts.get("shard-backend").is_some() && shards == 0 {
+        return Err("--shard-backend needs --shards S".into());
+    }
+    if let Some(spec) = opts.get("fault") {
+        if shards == 0 {
+            return Err("--fault needs --shards S".into());
+        }
+        let (s, r) = spec
+            .split_once('@')
+            .ok_or_else(|| format!("--fault: expected SHARD@ROUND, got '{spec}'"))?;
+        let kill_shard: usize = s
+            .parse()
+            .map_err(|_| format!("--fault: cannot parse shard '{s}'"))?;
+        let at_round: u64 = r
+            .parse()
+            .map_err(|_| format!("--fault: cannot parse round '{r}'"))?;
+        if kill_shard >= shards {
+            return Err(format!(
+                "--fault: shard {kill_shard} out of range (S = {shards})"
+            ));
+        }
+        if at_round == 0 {
+            return Err("--fault: rounds are numbered from 1".into());
+        }
+        clique_mis::sim::arm_fault(clique_mis::sim::FaultPlan {
+            kill_shard,
+            at_round,
+        });
+    }
+    Ok(())
+}
+
+/// Internal verb spawned by the process shard backend: serve one shard
+/// over the Unix socket until the coordinator hangs up.
+fn cmd_worker(opts: &Options) -> Result<(), String> {
+    let socket = opts.get("socket").ok_or("worker needs --socket PATH")?;
+    let shard: u32 = opts.get_parsed("shard")?.ok_or("worker needs --shard K")?;
+    clique_mis::sim::worker_main(socket, shard).map_err(|e| format!("shard worker {shard}: {e}"))
+}
+
 fn cmd_run(opts: &Options) -> Result<(), String> {
     let g = load_graph(opts)?;
     let seed: u64 = opts.get_parsed("seed")?.unwrap_or(1);
     let algorithm = opts.get("algorithm").unwrap_or("auto");
     let ck = CheckpointOpts::parse(opts)?;
+    apply_shard_opts(opts)?;
     let sink = opts.get("trace").map(|p| JsonlTraceSink::new(p).shared());
     let obs = || -> Option<SharedObserver> { sink.as_ref().map(JsonlTraceSink::as_observer) };
     let (outcome, label): (MisOutcome, String) = match algorithm {
